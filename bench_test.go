@@ -1,0 +1,488 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§4), plus raw microbenchmarks of the substrate. Custom
+// metrics carry the reproduced quantities:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benchmarks report virtual-time results via
+// b.ReportMetric (suffix names the unit); wall-clock ns/op measures
+// only the simulator's own speed.
+package provirt
+
+import (
+	"fmt"
+	"testing"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/harness"
+	"provirt/internal/lb"
+	"provirt/internal/machine"
+	"provirt/internal/mem"
+	"provirt/internal/papi"
+	"provirt/internal/ult"
+	"provirt/internal/workloads/adcirc"
+	"provirt/internal/workloads/jacobi"
+	"provirt/internal/workloads/synth"
+)
+
+// ---------------------------------------------------------------------
+// Table 1 / Table 3 (E1): feature matrices.
+// ---------------------------------------------------------------------
+
+func BenchmarkTable1FeatureMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if harness.Table1().NumRows() != 6 {
+			b.Fatal("table 1 row count")
+		}
+	}
+}
+
+func BenchmarkTable3FeatureMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if harness.Table3().NumRows() != 8 {
+			b.Fatal("table 3 row count")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 (E3): startup overhead at 8x virtualization.
+// ---------------------------------------------------------------------
+
+func BenchmarkFig5Startup(b *testing.B) {
+	for _, kind := range harness.Fig5Methods() {
+		b.Run(kind.String(), func(b *testing.B) {
+			var rows []harness.Fig5Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, _, err = harness.Fig5Startup(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, r := range rows {
+				if r.Method == kind {
+					b.ReportMetric(float64(r.Startup.Milliseconds()), "startup-ms")
+					b.ReportMetric((r.VsBaseline-1)*100, "overhead-%")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 (E4): user-level thread context-switch time.
+// ---------------------------------------------------------------------
+
+func BenchmarkFig6ContextSwitch(b *testing.B) {
+	var rows []harness.Fig6Row
+	var err error
+	rows, _, err = harness.Fig6ContextSwitch()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range rows {
+		row := row
+		b.Run(row.Method.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows2, _, err := harness.Fig6ContextSwitch()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = rows2
+			}
+			for _, r := range rows {
+				if r.Method == row.Method {
+					b.ReportMetric(float64(r.PerSwitch.Nanoseconds()), "switch-ns")
+					b.ReportMetric(float64(r.OverBaseline.Nanoseconds()), "over-baseline-ns")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 (E5): privatized variable access (Jacobi-3D).
+// ---------------------------------------------------------------------
+
+func BenchmarkFig7JacobiAccess(b *testing.B) {
+	rows, _, err := harness.Fig7JacobiAccess()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range rows {
+		row := row
+		b.Run(row.Method.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows2, _, err := harness.Fig7JacobiAccess()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = rows2
+			}
+			for _, r := range rows {
+				if r.Method == row.Method {
+					b.ReportMetric(float64(r.Time.Microseconds()), "exec-us")
+					b.ReportMetric((r.VsBaseline-1)*100, "vs-baseline-%")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 8 (E6): migration time vs heap size, TLSglobals vs PIEglobals.
+// ---------------------------------------------------------------------
+
+func BenchmarkFig8Migration(b *testing.B) {
+	var rows []harness.Fig8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = harness.Fig8Migration()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := fmt.Sprintf("heap-%dMiB", r.HeapBytes>>20)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = r
+			}
+			b.ReportMetric(float64(r.TLSTime.Microseconds()), "tls-us")
+			b.ReportMetric(float64(r.PIETime.Microseconds()), "pie-us")
+			b.ReportMetric(float64(r.PIETime)/float64(r.TLSTime), "pie/tls")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// §4.5 (E7): L1 instruction cache misses on the two site geometries.
+// ---------------------------------------------------------------------
+
+func BenchmarkICacheMisses(b *testing.B) {
+	var rows []harness.ICacheRow
+	for i := 0; i < b.N; i++ {
+		rows, _ = harness.ICacheExperiment()
+	}
+	for _, r := range rows {
+		r := r
+		b.Run(r.Site, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = r
+			}
+			b.ReportMetric(float64(r.TLSMisses), "tls-misses")
+			b.ReportMetric(float64(r.PIEMisses), "pie-misses")
+			b.ReportMetric(r.Advantage*100, "winner-advantage-%")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Table 2 + Figure 9 (E8/E9): ADCIRC strong scaling with
+// virtualization and load balancing. The bench sweeps a reduced core
+// set to keep wall time sane; cmd/privbench runs the full sweep.
+// ---------------------------------------------------------------------
+
+func BenchmarkTable2AdcircSpeedup(b *testing.B) {
+	var rows []harness.AdcircRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, _, err = harness.AdcircScaling(adcirc.DefaultConfig(), []int{1, 4, 16, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		r := r
+		b.Run(fmt.Sprintf("cores-%d", r.Cores), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = r
+			}
+			b.ReportMetric(r.SpeedupPct, "speedup-%")
+			b.ReportMetric(float64(r.BestRatio), "best-ratio")
+		})
+	}
+}
+
+func BenchmarkFig9AdcircScaling(b *testing.B) {
+	var rows []harness.AdcircRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, _, err = harness.AdcircScaling(adcirc.DefaultConfig(), []int{4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		for _, p := range r.Points {
+			p := p
+			b.Run(fmt.Sprintf("cores-%d/ratio-%d", p.Cores, p.Ratio), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = p
+				}
+				b.ReportMetric(float64(p.Time.Milliseconds()), "exec-ms")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Substrate microbenchmarks: wall-clock speed of the simulator itself.
+// ---------------------------------------------------------------------
+
+func BenchmarkULTSwitchRaw(b *testing.B) {
+	cl, err := machine.New(machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := ult.NewScheduler(cl.PE(0), cl.Engine, cl.Cost)
+	th := ult.NewThread(0, func(t *ult.Thread) {
+		for i := 0; i < b.N; i++ {
+			t.Yield()
+		}
+	})
+	b.ResetTimer()
+	s.Adopt(th)
+	cl.Engine.Drain()
+}
+
+func BenchmarkVarAccess(b *testing.B) {
+	for _, kind := range []core.Kind{core.KindNone, core.KindTLSglobals, core.KindPIEglobals} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var total uint64
+			prog := &ampi.Program{
+				Image: synth.HelloImage(),
+				Main: func(r *ampi.Rank) {
+					h := r.Ctx().Var("my_rank")
+					for i := 0; i < b.N; i++ {
+						h.Store(uint64(i))
+						total += h.Load()
+					}
+				},
+			}
+			w, err := ampi.NewWorld(ampi.Config{
+				Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 1},
+				VPs:       1,
+				Privatize: kind,
+			}, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if err := w.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkIsomallocAllocFree(b *testing.B) {
+	h := mem.NewHeap(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk, err := h.Alloc(256, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Free(blk.Addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapSerializeRestore(b *testing.B) {
+	h := mem.NewHeap(1)
+	for i := 0; i < 100; i++ {
+		if _, err := h.Alloc(1024, "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := h.Serialize()
+		if mem.Restore(snap) == nil {
+			b.Fatal("restore failed")
+		}
+	}
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	for _, vps := range []int{8, 64} {
+		b.Run(fmt.Sprintf("vps-%d", vps), func(b *testing.B) {
+			prog := &ampi.Program{
+				Image: synth.EmptyImage(),
+				Main: func(r *ampi.Rank) {
+					for i := 0; i < b.N; i++ {
+						r.Allreduce([]float64{1}, ampi.OpSum)
+					}
+				},
+			}
+			w, err := ampi.NewWorld(ampi.Config{
+				Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 4},
+				VPs:       vps,
+				Privatize: core.KindPIEglobals,
+			}, prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if err := w.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkCacheSimFetch(b *testing.B) {
+	c := papi.NewCache(papi.Bridges2L1I())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fetch(uint64(i) * 64)
+	}
+}
+
+// BenchmarkAblationMigrationBandwidth shows Fig. 8's sensitivity to
+// the interconnect: doubling inter-node bandwidth should shrink PIE
+// migration time materially (its payload is bandwidth-bound).
+func BenchmarkAblationMigrationBandwidth(b *testing.B) {
+	migrate := func(bw float64) float64 {
+		cost := machine.Default()
+		cost.InterNodeBandwidth = bw
+		prog := &ampi.Program{
+			Image: adcirc.Image(),
+			Main:  func(r *ampi.Rank) { r.Migrate() },
+		}
+		w, err := ampi.NewWorld(ampi.Config{
+			Machine:   machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 1, Cost: cost},
+			VPs:       1,
+			Privatize: core.KindPIEglobals,
+			Balancer:  lb.RotateLB{},
+		}, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+		return float64(w.LastMigrations()[0].Duration.Microseconds())
+	}
+	var base, fast float64
+	for i := 0; i < b.N; i++ {
+		base = migrate(12e9)
+		fast = migrate(24e9)
+	}
+	b.ReportMetric(base, "12GBps-us")
+	b.ReportMetric(fast, "24GBps-us")
+}
+
+// BenchmarkAblationLBTrigger compares always-balancing with the
+// adaptive imbalance trigger on the ADCIRC run: skipping
+// low-imbalance steps avoids migration payload for nearly the same
+// balance quality.
+func BenchmarkAblationLBTrigger(b *testing.B) {
+	run := func(trigger lb.Trigger) (float64, uint64) {
+		cfg := adcirc.DefaultConfig()
+		cfg.Width, cfg.Height, cfg.Steps, cfg.LBPeriod = 192, 256, 24, 4
+		w, err := ampi.NewWorld(ampi.Config{
+			Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 4},
+			VPs:       32,
+			Privatize: core.KindPIEglobals,
+			Balancer:  lb.GreedyRefineLB{},
+			Trigger:   trigger,
+		}, adcirc.New(cfg, nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+		return float64(w.ExecutionTime().Milliseconds()), w.MigratedBytes
+	}
+	var alwaysT, trigT float64
+	var alwaysB, trigB uint64
+	for i := 0; i < b.N; i++ {
+		alwaysT, alwaysB = run(nil)
+		trigT, trigB = run(lb.ImbalanceTrigger{Threshold: 1.3})
+	}
+	b.ReportMetric(alwaysT, "always-ms")
+	b.ReportMetric(trigT, "triggered-ms")
+	b.ReportMetric(float64(alwaysB)/(1<<20), "always-moved-MiB")
+	b.ReportMetric(float64(trigB)/(1<<20), "triggered-moved-MiB")
+}
+
+// BenchmarkFutureWorkSharedCode quantifies the paper's §6 future-work
+// optimization: mapping code segments from a single descriptor removes
+// the code bytes from both the per-rank resident footprint and the
+// migration payload.
+func BenchmarkFutureWorkSharedCode(b *testing.B) {
+	measure := func(method core.Method) (payload uint64, resident uint64, dur float64) {
+		prog := &ampi.Program{
+			Image: adcirc.Image(),
+			Main:  func(r *ampi.Rank) { r.Migrate() },
+		}
+		w, err := ampi.NewWorld(ampi.Config{
+			Machine:  machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 1},
+			VPs:      1,
+			Method:   method,
+			Balancer: lb.RotateLB{},
+		}, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+		rec := w.LastMigrations()[0]
+		return rec.Bytes, w.Ranks[0].Ctx().Heap.ResidentBytes(), float64(rec.Duration.Microseconds())
+	}
+	var basePayload, optPayload, baseRes, optRes uint64
+	var baseDur, optDur float64
+	for i := 0; i < b.N; i++ {
+		basePayload, baseRes, baseDur = measure(core.New(core.KindPIEglobals))
+		optPayload, optRes, optDur = measure(core.NewPIEglobals(core.PIEOptions{ShareCodePages: true}))
+	}
+	b.ReportMetric(float64(basePayload)/(1<<20), "copy-payload-MiB")
+	b.ReportMetric(float64(optPayload)/(1<<20), "shared-payload-MiB")
+	b.ReportMetric(float64(baseRes)/(1<<20), "copy-resident-MiB")
+	b.ReportMetric(float64(optRes)/(1<<20), "shared-resident-MiB")
+	b.ReportMetric(baseDur, "copy-migration-us")
+	b.ReportMetric(optDur, "shared-migration-us")
+	if optPayload+adcirc.CodeSegmentBytes > basePayload+1<<20 || optPayload >= basePayload {
+		b.Fatalf("shared code pages did not shrink the payload: %d vs %d", optPayload, basePayload)
+	}
+}
+
+// BenchmarkAblationJacobiNoHoisting shows Fig. 7's dependence on the
+// compiler-hoisting assumption: with hoisting disabled, TLS-indirect
+// accesses cost extra per touch and the Jacobi gap opens.
+func BenchmarkAblationJacobiNoHoisting(b *testing.B) {
+	run := func(hoist bool, kind core.Kind) float64 {
+		cost := machine.Default()
+		cost.CompilerHoistsIndirection = hoist
+		cfg := jacobi.Config{NX: 16, NY: 16, NZ: 16, Iters: 5}
+		w, err := ampi.NewWorld(ampi.Config{
+			Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 1, Cost: cost},
+			VPs:       1,
+			Privatize: kind,
+		}, jacobi.New(cfg, nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Run(); err != nil {
+			b.Fatal(err)
+		}
+		return float64(w.ExecutionTime().Microseconds())
+	}
+	var hoisted, unhoisted float64
+	for i := 0; i < b.N; i++ {
+		hoisted = run(true, core.KindTLSglobals)
+		unhoisted = run(false, core.KindTLSglobals)
+	}
+	b.ReportMetric(hoisted, "hoisted-us")
+	b.ReportMetric(unhoisted, "unhoisted-us")
+	if unhoisted <= hoisted {
+		b.Fatal("disabling hoisting should slow privatized access")
+	}
+}

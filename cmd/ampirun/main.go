@@ -1,0 +1,176 @@
+// Command ampirun launches a built-in MPI program on the simulated
+// cluster with virtualization, mirroring AMPI's launcher interface:
+//
+//	ampirun -program hello -vp 8 -pes 2 -privatize pieglobals
+//	ampirun -program jacobi -vp 64 -pes 8 -privatize tlsglobals
+//	ampirun -program adcirc -vp 128 -pes 16 -lb greedyrefine
+//	ampirun -program ping -privatize swapglobals -oldlinker
+//
+// It prints per-run statistics: startup time, execution time, context
+// switches, migrations, and program-specific output. Add -stats for a
+// per-PE utilization breakdown and -timeline FILE for a
+// Projections-style JSON execution trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/lb"
+	"provirt/internal/machine"
+	"provirt/internal/trace"
+	"provirt/internal/workloads/adcirc"
+	"provirt/internal/workloads/jacobi"
+	"provirt/internal/workloads/synth"
+)
+
+func main() {
+	var (
+		program   = flag.String("program", "hello", "program to run: hello, jacobi, adcirc, ping, empty")
+		vps       = flag.Int("vp", 4, "number of virtual ranks (+vp N)")
+		nodes     = flag.Int("nodes", 1, "cluster nodes")
+		procs     = flag.Int("procs", 1, "OS processes per node")
+		pes       = flag.Int("pes", 1, "PEs (cores) per process; >1 is SMP mode")
+		method    = flag.String("privatize", "pieglobals", "privatization method (none, manual, photran, swapglobals, tlsglobals, fmpc-privatize, pipglobals, fsglobals, pieglobals)")
+		balancer  = flag.String("lb", "", "load balancer: greedy, greedyrefine, hierarchical, rotate, null (empty = none)")
+		oldLinker = flag.Bool("oldlinker", false, "pretend ld <= 2.23 (enables swapglobals)")
+		patched   = flag.Bool("patched-glibc", false, "use the PIP project's patched glibc (lifts the 12-namespace limit)")
+		mpc       = flag.Bool("mpc-compiler", false, "use an MPC-patched compiler (enables -fmpc-privatize)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		stats     = flag.Bool("stats", false, "print the per-PE utilization breakdown")
+		timeline  = flag.String("timeline", "", "write a Projections-style JSON execution timeline to this file")
+	)
+	flag.Parse()
+
+	kind, err := core.ParseKind(*method)
+	if err != nil {
+		fail(err)
+	}
+	tc, osEnv := core.Bridges2Env()
+	osEnv.OldOrPatchedLinker = *oldLinker
+	osEnv.PatchedGlibc = *patched
+	tc.MPCPatched = *mpc
+
+	var strategy lb.Strategy
+	switch *balancer {
+	case "":
+	case "greedy":
+		strategy = lb.GreedyLB{}
+	case "greedyrefine":
+		strategy = lb.GreedyRefineLB{}
+	case "hierarchical":
+		strategy = lb.HierarchicalLB{PEsPerNode: *pes}
+	case "rotate":
+		strategy = lb.RotateLB{}
+	case "null":
+		strategy = lb.NullLB{}
+	default:
+		fail(fmt.Errorf("unknown balancer %q", *balancer))
+	}
+
+	cfg := ampi.Config{
+		Machine:   machine.Config{Nodes: *nodes, ProcsPerNode: *procs, PEsPerProc: *pes, Seed: *seed},
+		VPs:       *vps,
+		Privatize: kind,
+		Toolchain: tc,
+		OS:        osEnv,
+		Balancer:  strategy,
+	}
+
+	prog, report := buildProgram(*program, strategy != nil)
+	w, err := ampi.NewWorld(cfg, prog)
+	if err != nil {
+		fail(err)
+	}
+	if *timeline != "" {
+		w.EnableTracing()
+	}
+	if err := w.Run(); err != nil {
+		fail(err)
+	}
+	report()
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fail(err)
+		}
+		if err := w.WriteTimeline(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("timeline:       %s\n", *timeline)
+	}
+
+	fmt.Printf("\n--- run statistics ---\n")
+	fmt.Printf("machine:        %d node(s) x %d proc(s) x %d PE(s), %d virtual ranks (%s)\n",
+		*nodes, *procs, *pes, *vps, kind)
+	fmt.Printf("startup:        %s\n", trace.FormatDuration(w.SetupDone))
+	fmt.Printf("execution:      %s\n", trace.FormatDuration(w.ExecutionTime()))
+	fmt.Printf("ULT switches:   %d\n", w.TotalSwitches())
+	fmt.Printf("migrations:     %d (%s)\n", w.Migrations, trace.FormatBytes(int64(w.MigratedBytes)))
+	if *stats {
+		fmt.Println()
+		fmt.Println(w.Stats().Table())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ampirun: %v\n", err)
+	os.Exit(1)
+}
+
+// buildProgram returns the selected program plus a function that prints
+// its collected output after the run.
+func buildProgram(name string, hasLB bool) (*ampi.Program, func()) {
+	switch name {
+	case "hello":
+		var results []synth.HelloResult
+		prog := synth.Hello(func(hr synth.HelloResult) { results = append(results, hr) })
+		return prog, func() {
+			sort.Slice(results, func(i, j int) bool { return results[i].VP < results[j].VP })
+			for _, hr := range results {
+				fmt.Printf("rank: %d\n", hr.Printed)
+			}
+		}
+	case "jacobi":
+		cfg := jacobi.DefaultConfig()
+		var results []jacobi.Result
+		prog := jacobi.New(cfg, func(r jacobi.Result) { results = append(results, r) })
+		return prog, func() {
+			var resid float64
+			var accesses uint64
+			for _, r := range results {
+				resid = r.Residual
+				accesses += r.Accesses
+			}
+			fmt.Printf("jacobi3d: %dx%dx%d grid, %d iterations, residual %.6g, %d privatized accesses\n",
+				cfg.NX, cfg.NY, cfg.NZ, cfg.Iters, resid, accesses)
+		}
+	case "adcirc":
+		cfg := adcirc.DefaultConfig()
+		if !hasLB {
+			cfg.LBPeriod = 0
+		}
+		var volume uint64
+		prog := adcirc.New(cfg, func(r adcirc.Result) { volume += r.WetCellSteps })
+		return prog, func() {
+			fmt.Printf("adcirc: %dx%d grid, %d steps, total wet-cell updates %d (oracle %d)\n",
+				cfg.Width, cfg.Height, cfg.Steps, volume, adcirc.TotalWetCellSteps(cfg))
+		}
+	case "ping":
+		return synth.Ping(), func() {
+			fmt.Printf("ping: %d context switches between two user-level threads\n", synth.PingCount)
+		}
+	case "empty":
+		return synth.Empty(), func() {}
+	default:
+		fail(fmt.Errorf("unknown program %q (try hello, jacobi, adcirc, ping, empty)", name))
+		return nil, nil
+	}
+}

@@ -1,0 +1,155 @@
+// Command privbench regenerates every table and figure from the
+// paper's evaluation section (§4).
+//
+// Usage:
+//
+//	privbench -experiment=all
+//	privbench -experiment=fig5 -nodes 8
+//	privbench -experiment=table2 -cores 1,2,4,8,16,32,64
+//
+// Experiments: tables (Tables 1 & 3), fig5 (startup), fig6 (context
+// switch), fig7 (privatized access), fig8 (migration), icache (§4.5),
+// table2/fig9 (ADCIRC strong scaling).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"provirt/internal/harness"
+	"provirt/internal/workloads/adcirc"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: all, tables, fig5, fig6, fig7, fig8, icache, table2, fig9")
+	nodes := flag.Int("nodes", 1, "node count for fig5")
+	coresFlag := flag.String("cores", "1,2,4,8,16,32,64", "core counts for table2/fig9")
+	flag.Parse()
+
+	cores, err := parseInts(*coresFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "privbench: bad -cores: %v\n", err)
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "privbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("tables", func() error {
+		fmt.Println(harness.Table1())
+		fmt.Println(harness.Table3())
+		return nil
+	})
+	run("fig5", func() error {
+		_, tbl, err := harness.Fig5Startup(*nodes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	})
+	run("fig5scale", func() error {
+		tbl, err := harness.Fig5Scaling([]int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	})
+	run("fig6", func() error {
+		_, tbl, err := harness.Fig6ContextSwitch()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	})
+	run("fig7", func() error {
+		_, tbl, err := harness.Fig7JacobiAccess()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	})
+	run("fig8", func() error {
+		_, tbl, err := harness.Fig8Migration()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	})
+	run("icache", func() error {
+		_, tbl := harness.ICacheExperiment()
+		fmt.Println(tbl)
+		return nil
+	})
+	run("memory", func() error {
+		_, tbl, err := harness.MemoryFootprint()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	})
+	adcircScaling := func() error {
+		_, t2, f9, err := harness.AdcircScaling(adcirc.DefaultConfig(), cores)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t2)
+		fmt.Println(f9)
+		return nil
+	}
+	switch *experiment {
+	case "table2", "fig9":
+		if err := adcircScaling(); err != nil {
+			fmt.Fprintf(os.Stderr, "privbench: %s: %v\n", *experiment, err)
+			os.Exit(1)
+		}
+	case "all":
+		if err := adcircScaling(); err != nil {
+			fmt.Fprintf(os.Stderr, "privbench: adcirc: %v\n", err)
+			os.Exit(1)
+		}
+	case "tables", "fig5", "fig5scale", "fig6", "fig7", "fig8", "icache", "memory":
+		// handled above
+	default:
+		fmt.Fprintf(os.Stderr, "privbench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("core count %d must be positive", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no core counts")
+	}
+	return out, nil
+}

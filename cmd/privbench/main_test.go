@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	good := map[string][]int{
+		"1":            {1},
+		"1,2,4":        {1, 2, 4},
+		" 8 , 16 ":     {8, 16},
+		"1,2,4,8,16,,": {1, 2, 4, 8, 16},
+	}
+	for in, want := range good {
+		got, err := parseInts(in)
+		if err != nil {
+			t.Errorf("parseInts(%q): %v", in, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("parseInts(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("parseInts(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	for _, in := range []string{"", "x", "0", "-2", "1,zero"} {
+		if _, err := parseInts(in); err == nil {
+			t.Errorf("parseInts(%q) accepted", in)
+		}
+	}
+}

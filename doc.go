@@ -1,0 +1,13 @@
+// Package provirt is a Go reproduction of "Runtime Techniques for
+// Automatic Process Virtualization" (Ramos, White, Bhosale, Kale; ICPP
+// Workshops '22): an Adaptive-MPI-like runtime whose MPI ranks are
+// migratable user-level threads, with the paper's privatization methods
+// — Swapglobals, TLSglobals, -fmpc-privatize, PIPglobals, FSglobals,
+// and PIEglobals — implemented as strategies over a synthetic ELF/PIE
+// process model on a deterministic discrete-event cluster simulator.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for paper-vs-measured results. The benchmark
+// harness in bench_test.go regenerates every table and figure of the
+// paper's evaluation; cmd/privbench prints them.
+package provirt

@@ -1,0 +1,84 @@
+// ADCIRC storm-surge surrogate with dynamic load balancing (§4.6).
+//
+// The computationally intensive region follows the flood front as it
+// spreads across the coastal grid, so static decompositions go out of
+// balance. The example runs the same storm three ways on 8 PEs:
+//
+//  1. baseline: one rank per PE, no balancing;
+//  2. overdecomposed 8x, no balancing (latency hiding only);
+//  3. overdecomposed 8x with GreedyRefineLB migrating ranks under
+//     PIEglobals.
+//
+// Run with: go run ./examples/adcirc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/lb"
+	"provirt/internal/machine"
+	"provirt/internal/trace"
+	"provirt/internal/workloads/adcirc"
+)
+
+func main() {
+	cfg := adcirc.DefaultConfig()
+	const pes = 8
+
+	type variant struct {
+		name     string
+		vps      int
+		balancer lb.Strategy
+	}
+	variants := []variant{
+		{"baseline (1 rank/PE, no LB)", pes, nil},
+		{"8x virtualization, no LB", pes * 8, nil},
+		{"8x virtualization + GreedyRefineLB", pes * 8, lb.GreedyRefineLB{}},
+	}
+
+	tbl := trace.NewTable(
+		fmt.Sprintf("ADCIRC surrogate: %dx%d grid, %d steps, %d PEs, PIEglobals",
+			cfg.Width, cfg.Height, cfg.Steps, pes),
+		"Configuration", "Execution", "Migrations", "Moved", "Speedup")
+	var baseline float64
+	for _, v := range variants {
+		run := cfg
+		if v.balancer == nil {
+			run.LBPeriod = 0
+		}
+		var volume uint64
+		prog := adcirc.New(run, func(r adcirc.Result) { volume += r.WetCellSteps })
+		w, err := ampi.NewWorld(ampi.Config{
+			Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: pes},
+			VPs:       v.vps,
+			Privatize: core.KindPIEglobals,
+			Balancer:  v.balancer,
+		}, prog)
+		if err != nil {
+			log.Fatalf("adcirc: %v", err)
+		}
+		if err := w.Run(); err != nil {
+			log.Fatalf("adcirc: %v", err)
+		}
+		if oracle := adcirc.TotalWetCellSteps(run); volume != oracle {
+			log.Fatalf("adcirc: volume %d != oracle %d — decomposition bug", volume, oracle)
+		}
+		secs := w.ExecutionTime().Seconds()
+		if baseline == 0 {
+			baseline = secs
+		}
+		tbl.AddRow(
+			v.name,
+			trace.FormatDuration(w.ExecutionTime()),
+			fmt.Sprint(w.Migrations),
+			trace.FormatBytes(int64(w.MigratedBytes)),
+			fmt.Sprintf("%+.0f%%", (baseline/secs-1)*100),
+		)
+	}
+	fmt.Println(tbl)
+	fmt.Println("Every configuration computes the same total wet-cell work;")
+	fmt.Println("migration lets the runtime chase the storm across the PEs.")
+}

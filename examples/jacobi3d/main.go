@@ -1,0 +1,62 @@
+// Jacobi-3D under overdecomposition: the workload behind Figs. 6 and 7.
+//
+// A 7-point stencil solve is run at several virtualization ratios on
+// the same 4-PE machine. More virtual ranks than cores lets the
+// message-driven scheduler overlap one rank's halo waits with another
+// rank's compute, and the run prints how execution time responds.
+// All inner-loop variables (relaxation coefficient, grid spacings) are
+// privatized globals, so the run also reports the privatized-access
+// count.
+//
+// Run with: go run ./examples/jacobi3d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/machine"
+	"provirt/internal/trace"
+	"provirt/internal/workloads/jacobi"
+)
+
+func main() {
+	cfg := jacobi.Config{NX: 48, NY: 48, NZ: 48, Iters: 25}
+	const pes = 4
+
+	tbl := trace.NewTable("Jacobi-3D 48^3, 25 iterations, 4 PEs, PIEglobals",
+		"VPs", "ratio", "execution", "ULT switches", "privatized accesses", "residual")
+	for _, ratio := range []int{1, 2, 4, 8} {
+		vps := pes * ratio
+		var accesses uint64
+		var residual float64
+		prog := jacobi.New(cfg, func(r jacobi.Result) {
+			accesses += r.Accesses
+			residual = r.Residual
+		})
+		w, err := ampi.NewWorld(ampi.Config{
+			Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: pes},
+			VPs:       vps,
+			Privatize: core.KindPIEglobals,
+		}, prog)
+		if err != nil {
+			log.Fatalf("jacobi3d: %v", err)
+		}
+		if err := w.Run(); err != nil {
+			log.Fatalf("jacobi3d: %v", err)
+		}
+		tbl.AddRow(
+			fmt.Sprint(vps),
+			fmt.Sprintf("%dx", ratio),
+			trace.FormatDuration(w.ExecutionTime()),
+			fmt.Sprint(w.TotalSwitches()),
+			fmt.Sprint(accesses),
+			fmt.Sprintf("%.6g", residual),
+		)
+	}
+	fmt.Println(tbl)
+	fmt.Println("The residual is identical at every ratio: decomposition and")
+	fmt.Println("privatization change performance, never the numerical answer.")
+}

@@ -1,0 +1,3 @@
+module provirt
+
+go 1.22

@@ -1,0 +1,144 @@
+package ampi
+
+import (
+	"fmt"
+
+	"provirt/internal/core"
+	"provirt/internal/sim"
+)
+
+// Checkpoint is a consistent snapshot of every rank's migratable state,
+// written to the shared filesystem. Because rank state serializes
+// exactly as it does for migration, any privatization method that
+// supports migration supports checkpoint/restart fault tolerance — and
+// any method that cannot (PIPglobals, FSglobals) fails here with the
+// same reason (§3.1, §3.2).
+type Checkpoint struct {
+	Dir      string
+	Payloads []*core.MigrationPayload
+	// Bytes is the total snapshot size written to the filesystem.
+	Bytes uint64
+	// Taken is the virtual time the snapshot completed (slowest rank).
+	Taken sim.Time
+	// VPs records the rank count for restart validation.
+	VPs int
+}
+
+// Checkpoint is a collective: every rank must call it. The runtime
+// serializes all rank state and writes one file per rank to the shared
+// filesystem; ranks resume once their file is durable. The snapshot is
+// available afterwards via World.LastCheckpoint.
+func (r *Rank) Checkpoint(dir string) {
+	w := r.world
+	w.ckptWaiting = append(w.ckptWaiting, r)
+	if len(w.ckptWaiting) == len(w.Ranks) {
+		at := r.thread.Now()
+		w.Cluster.Engine.At(at, func() { w.runCheckpoint(dir) })
+	}
+	r.thread.Suspend()
+}
+
+// LastCheckpoint returns the most recent snapshot, or nil.
+func (w *World) LastCheckpoint() *Checkpoint { return w.lastCheckpoint }
+
+func (w *World) runCheckpoint(dir string) {
+	sync := w.Cluster.Engine.Now()
+	for _, s := range w.scheds {
+		if s.Now() > sync {
+			sync = s.Now()
+		}
+	}
+	waiting := w.ckptWaiting
+	w.ckptWaiting = nil
+
+	ck := &Checkpoint{Dir: dir, VPs: len(w.Ranks)}
+	for _, r := range waiting {
+		payload, err := r.ctx.Serialize()
+		if err != nil {
+			w.fail(fmt.Errorf("ampi: checkpoint/restart is unavailable: %w", err))
+			return
+		}
+		ck.Payloads = append(ck.Payloads, payload)
+		bytes := payload.Bytes()
+		ck.Bytes += bytes
+		// Writes contend on the shared filesystem; each rank resumes
+		// when its file is durable.
+		done := w.Cluster.FS.WriteFile(sync, checkpointPath(dir, r.vp), bytes)
+		if done > ck.Taken {
+			ck.Taken = done
+		}
+		w.wakeAt(r, done)
+	}
+	w.lastCheckpoint = ck
+}
+
+func checkpointPath(dir string, vp int) string {
+	return fmt.Sprintf("%s/rank-%d.ckpt", dir, vp)
+}
+
+// NewWorldFromCheckpoint builds a world whose ranks restart from a
+// previously taken checkpoint: after privatization setup, each rank's
+// snapshot is read back from the shared filesystem and restored into
+// its context before the rank's main function runs. The machine shape
+// may differ from the original job's (restart after a node failure, or
+// shrink/expand), since Isomalloc state is placement-independent.
+//
+// Go cannot resume a goroutine mid-function, so — like a hot-start in
+// a production code — the program's main runs from the top and is
+// expected to consult its (restored) privatized state to skip
+// completed work.
+func NewWorldFromCheckpoint(cfg Config, prog *Program, ck *Checkpoint) (*World, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("ampi: nil checkpoint")
+	}
+	if cfg.VPs == 0 {
+		cfg.VPs = ck.VPs
+	}
+	if cfg.VPs != ck.VPs {
+		return nil, fmt.Errorf("ampi: checkpoint has %d ranks, config wants %d", ck.VPs, cfg.VPs)
+	}
+	cfg.restart = ck
+	return NewWorld(cfg, prog)
+}
+
+// restoreFromCheckpoint wires restart into world construction: instead
+// of adopting rank threads directly at setup completion, each rank's
+// snapshot is read from the filesystem (contended) and restored, and
+// the thread starts only once its state is back.
+func (w *World) restoreFromCheckpoint(ck *Checkpoint, vpPE []int) error {
+	byVP := make(map[int]*core.MigrationPayload, len(ck.Payloads))
+	for _, p := range ck.Payloads {
+		byVP[p.VP] = p
+	}
+	for vp := range w.Ranks {
+		if byVP[vp] == nil {
+			return fmt.Errorf("ampi: checkpoint missing rank %d", vp)
+		}
+	}
+	// The shared filesystem persists across jobs: make the previous
+	// job's checkpoint files visible to this cluster.
+	for _, p := range ck.Payloads {
+		w.Cluster.FS.Populate(checkpointPath(ck.Dir, p.VP), p.Bytes())
+	}
+	engine := w.Cluster.Engine
+	engine.At(w.SetupDone, func() {
+		for vp, r := range w.Ranks {
+			r := r
+			payload := byVP[vp]
+			pe := w.scheds[vpPE[vp]]
+			readDone, _, err := w.Cluster.FS.ReadFile(w.SetupDone, checkpointPath(ck.Dir, vp))
+			if err != nil {
+				w.fail(fmt.Errorf("ampi: restart rank %d: %w", vp, err))
+				return
+			}
+			engine.At(readDone, func() {
+				if err := r.ctx.RestoreInto(payload, w.sharedInstanceOf(pe.PE.Proc)); err != nil {
+					w.fail(fmt.Errorf("ampi: restart rank %d: %w", r.vp, err))
+					return
+				}
+				pe.Adopt(r.thread)
+			})
+		}
+	})
+	return nil
+}

@@ -1,0 +1,106 @@
+package ampi
+
+// Collective message tags live in a reserved negative space; each
+// collective instance gets a unique sequence so back-to-back
+// collectives never cross-match. MPI requires all ranks to call
+// collectives in the same order, which keeps the per-rank sequence
+// numbers aligned.
+const collTagBase = -1_000_000
+
+// worldComm returns the rank's cached MPI_COMM_WORLD; all rank-level
+// collectives delegate to it so there is exactly one implementation of
+// each algorithm.
+func (r *Rank) worldComm() *Comm {
+	if r.world0 == nil {
+		r.world0 = r.CommWorld()
+	}
+	return r.world0
+}
+
+// binomialParentChildren computes the rank's parent and children in a
+// binomial tree over size entries rooted at relative rank 0.
+func binomialParentChildren(rel, size int) (parent int, children []int) {
+	parent = -1
+	limit := size // rel == 0: any power of two below size
+	if rel != 0 {
+		lsb := rel & -rel
+		parent = rel - lsb
+		limit = lsb
+	}
+	for m := 1; m < limit && rel+m < size; m <<= 1 {
+		children = append(children, rel+m)
+	}
+	return parent, children
+}
+
+// abs translates a relative tree rank back to an absolute rank.
+func abs(rel, root, size int) int { return (rel + root) % size }
+
+// Bcast broadcasts data from root along a binomial tree and returns
+// each rank's copy. bytes models the wire size (0 derives it from the
+// payload).
+func (r *Rank) Bcast(root int, data []float64, bytes uint64) []float64 {
+	r.checkPeer(root)
+	return r.worldComm().Bcast(root, data, bytes)
+}
+
+// Reduce combines each rank's contribution with op along a binomial
+// tree; the result is returned at root (nil elsewhere).
+func (r *Rank) Reduce(root int, data []float64, op *Op) []float64 {
+	r.checkPeer(root)
+	return r.worldComm().Reduce(root, data, op)
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (r *Rank) Allreduce(data []float64, op *Op) []float64 {
+	return r.worldComm().Allreduce(data, op)
+}
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() {
+	r.worldComm().Barrier()
+}
+
+// Gather collects each rank's fixed-size contribution at root; the
+// result at root is the concatenation in rank order (nil elsewhere).
+func (r *Rank) Gather(root int, data []float64) [][]float64 {
+	r.checkPeer(root)
+	return r.worldComm().Gather(root, data)
+}
+
+// Scatter distributes root's per-rank chunks; each rank returns its
+// own chunk.
+func (r *Rank) Scatter(root int, chunks [][]float64) []float64 {
+	r.checkPeer(root)
+	return r.worldComm().Scatter(root, chunks)
+}
+
+// Allgather collects every rank's contribution everywhere.
+func (r *Rank) Allgather(data []float64) [][]float64 {
+	return r.worldComm().Allgather(data)
+}
+
+// Alltoall exchanges chunk i of each rank's input with rank i.
+func (r *Rank) Alltoall(chunks [][]float64) [][]float64 {
+	return r.worldComm().Alltoall(chunks)
+}
+
+// Scan computes an inclusive prefix reduction: rank i returns op
+// applied over the contributions of ranks 0..i (MPI_Scan).
+func (r *Rank) Scan(data []float64, op *Op) []float64 {
+	return r.worldComm().Scan(data, op)
+}
+
+// Exscan computes an exclusive prefix reduction: rank i returns op
+// applied over ranks 0..i-1; rank 0 returns nil (MPI_Exscan).
+func (r *Rank) Exscan(data []float64, op *Op) []float64 {
+	return r.worldComm().Exscan(data, op)
+}
+
+// ReduceScatter reduces elementwise across ranks, then scatters equal
+// chunks: each rank returns its chunk of the reduced vector
+// (MPI_Reduce_scatter_block). The input length must be a multiple of
+// the rank count.
+func (r *Rank) ReduceScatter(data []float64, op *Op) []float64 {
+	return r.worldComm().ReduceScatter(data, op)
+}

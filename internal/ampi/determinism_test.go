@@ -1,0 +1,95 @@
+package ampi_test
+
+import (
+	"testing"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/lb"
+	"provirt/internal/machine"
+	"provirt/internal/workloads/adcirc"
+	"provirt/internal/workloads/jacobi"
+)
+
+// TestRunsAreDeterministic: identical configurations must produce
+// bit-identical virtual times, switch counts, and migration records —
+// the property every experiment in EXPERIMENTS.md relies on.
+func TestRunsAreDeterministic(t *testing.T) {
+	run := func() (a, b, c uint64) {
+		cfg := adcirc.DefaultConfig()
+		cfg.Width, cfg.Height, cfg.Steps, cfg.LBPeriod = 96, 128, 16, 4
+		prog := adcirc.New(cfg, nil)
+		w, err := ampi.NewWorld(ampi.Config{
+			Machine:   machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 2, Seed: 7},
+			VPs:       16,
+			Privatize: core.KindPIEglobals,
+			Balancer:  lb.GreedyRefineLB{},
+		}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return uint64(w.Time()), w.TotalSwitches(), w.MigratedBytes
+	}
+	t1, s1, m1 := run()
+	t2, s2, m2 := run()
+	if t1 != t2 || s1 != s2 || m1 != m2 {
+		t.Fatalf("nondeterministic run: (%d,%d,%d) vs (%d,%d,%d)", t1, s1, m1, t2, s2, m2)
+	}
+	if m1 == 0 {
+		t.Error("determinism test exercised no migrations")
+	}
+}
+
+// TestSwapglobalsMigration: Table 1 says Swapglobals supports
+// migration (its per-rank copies live in migratable memory); verify a
+// round trip between processes.
+func TestSwapglobalsMigration(t *testing.T) {
+	tc, osEnv := core.Bridges2Env()
+	osEnv.OldOrPatchedLinker = true
+	vals := make([]uint64, 2)
+	prog := &ampi.Program{
+		Image: jacobi.Image(),
+		Main: func(r *ampi.Rank) {
+			r.Ctx().Store("iter_count", uint64(r.Rank())+40)
+			r.Migrate()
+			vals[r.Rank()] = r.Ctx().Load("iter_count")
+		},
+	}
+	cfg := ampi.Config{
+		Machine:   machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 1}, // non-SMP
+		VPs:       2,
+		Privatize: core.KindSwapglobals,
+		Toolchain: tc,
+		OS:        osEnv,
+		Balancer:  lb.RotateLB{},
+	}
+	w := runProgram(t, cfg, prog)
+	if w.Migrations != 2 {
+		t.Fatalf("%d migrations", w.Migrations)
+	}
+	for vp, v := range vals {
+		if v != uint64(vp)+40 {
+			t.Errorf("rank %d swapglobals state %d after migration", vp, v)
+		}
+	}
+}
+
+// TestSMPModeRefusals: methods whose Table 3 row says "No" for SMP
+// support must refuse multi-PE processes.
+func TestSMPModeRefusals(t *testing.T) {
+	tc, osEnv := core.Bridges2Env()
+	osEnv.OldOrPatchedLinker = true
+	cfg := ampi.Config{
+		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 4}, // SMP
+		VPs:       4,
+		Privatize: core.KindSwapglobals,
+		Toolchain: tc,
+		OS:        osEnv,
+	}
+	if _, err := ampi.NewWorld(cfg, jacobi.New(jacobi.Config{NX: 4, NY: 4, NZ: 4, Iters: 1}, nil)); err == nil {
+		t.Fatal("swapglobals accepted SMP mode")
+	}
+}

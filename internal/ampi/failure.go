@@ -1,0 +1,44 @@
+package ampi
+
+import (
+	"errors"
+	"fmt"
+
+	"provirt/internal/sim"
+)
+
+// ErrNodeFailed is wrapped by Run's error when an injected hard fault
+// kills a node.
+var ErrNodeFailed = errors.New("ampi: node failed")
+
+// ScheduleNodeFailure injects a hard fault: at virtual time `at`, the
+// given node dies, killing every rank resident on (or migrating to) it
+// and aborting the job. A job that has been checkpointing can then be
+// restarted from its last snapshot via NewWorldFromCheckpoint — the
+// fault-tolerance story §2.1 attributes to migratable rank state.
+//
+// The failure fires between scheduling quanta (the simulation's event
+// granularity); ranks die at their next suspension point, which is
+// when a real hard fault would be observed by the runtime's fault
+// detector.
+func (w *World) ScheduleNodeFailure(nodeID int, at sim.Time) error {
+	if nodeID < 0 || nodeID >= len(w.Cluster.Nodes) {
+		return fmt.Errorf("ampi: no node %d", nodeID)
+	}
+	w.Cluster.Engine.At(at, func() {
+		if w.runtimeErr != nil {
+			return
+		}
+		killed := 0
+		for _, r := range w.Ranks {
+			if r.pe.Proc.Node.ID != nodeID {
+				continue
+			}
+			r.thread.Kill(fmt.Sprintf("node %d failed at %v", nodeID, at))
+			killed++
+		}
+		w.fail(fmt.Errorf("%w: node %d died at %v, killing %d rank(s); restart from the last checkpoint",
+			ErrNodeFailed, nodeID, at, killed))
+	})
+	return nil
+}

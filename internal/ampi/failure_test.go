@@ -1,0 +1,104 @@
+package ampi_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/machine"
+)
+
+// TestNodeFailureRecovery runs the full fault-tolerance loop: a job
+// checkpoints periodically, a node dies mid-run, and the job restarts
+// from the last snapshot on the surviving node, finishing with the
+// exact uninterrupted results.
+func TestNodeFailureRecovery(t *testing.T) {
+	const total, ckptEvery = 12, 4
+	finals := make([]uint64, 4)
+	periodic := &ampi.Program{
+		Image: ckptImage(),
+		Main: func(r *ampi.Rank) {
+			ctx := r.Ctx()
+			for int(ctx.Load("iter")) < total {
+				it := ctx.Load("iter")
+				ctx.Store("acc", ctx.Load("acc")+(it+1)*uint64(r.Rank()+1))
+				ctx.Store("iter", it+1)
+				r.Compute(2 * time.Millisecond)
+				if int(it+1)%ckptEvery == 0 {
+					r.Checkpoint("/scratch/ft")
+				}
+			}
+			r.Barrier()
+			finals[r.Rank()] = ctx.Load("acc")
+		},
+	}
+
+	cfg := ampi.Config{
+		Machine:   machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 2},
+		VPs:       4,
+		Privatize: core.KindPIEglobals,
+	}
+	w, err := ampi.NewWorld(cfg, periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 dies mid-run, after the first checkpoint (~8ms of compute
+	// per checkpoint period plus ~100ms startup).
+	if err := w.ScheduleNodeFailure(1, 130*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run()
+	if !errors.Is(err, ampi.ErrNodeFailed) {
+		t.Fatalf("run ended with %v, want node failure", err)
+	}
+	ck := w.LastCheckpoint()
+	if ck == nil {
+		t.Fatal("no checkpoint survived the failure")
+	}
+
+	// Restart on the surviving single node.
+	finals2 := make([]uint64, 4)
+	restartProg := &ampi.Program{
+		Image: ckptImage(),
+		Main: func(r *ampi.Rank) {
+			ctx := r.Ctx()
+			for int(ctx.Load("iter")) < total {
+				it := ctx.Load("iter")
+				ctx.Store("acc", ctx.Load("acc")+(it+1)*uint64(r.Rank()+1))
+				ctx.Store("iter", it+1)
+				r.Compute(2 * time.Millisecond)
+			}
+			r.Barrier()
+			finals2[r.Rank()] = ctx.Load("acc")
+		},
+	}
+	w2, err := ampi.NewWorldFromCheckpoint(ampi.Config{
+		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 2},
+		VPs:       4,
+		Privatize: core.KindPIEglobals,
+	}, restartProg, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for vp := range finals2 {
+		if finals2[vp] != expectedAcc(total, vp) {
+			t.Errorf("rank %d finished with %d after recovery, want %d",
+				vp, finals2[vp], expectedAcc(total, vp))
+		}
+	}
+}
+
+func TestScheduleNodeFailureValidation(t *testing.T) {
+	w, err := ampi.NewWorld(smallConfig(1, core.KindNone), ckptProgram(1, 0, make([]uint64, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ScheduleNodeFailure(5, 0); err == nil {
+		t.Fatal("bogus node id accepted")
+	}
+}

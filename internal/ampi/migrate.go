@@ -1,0 +1,129 @@
+package ampi
+
+import (
+	"fmt"
+
+	"provirt/internal/lb"
+	"provirt/internal/sim"
+)
+
+// MigrationRecord describes one completed rank migration.
+type MigrationRecord struct {
+	VP       int
+	FromPE   int
+	ToPE     int
+	Bytes    uint64
+	Duration sim.Time
+}
+
+// Migrate is the AMPI_Migrate collective: every rank must call it. The
+// runtime takes the opportunity to run the configured load balancer and
+// move ranks; ranks resume once any migrations affecting them complete.
+func (r *Rank) Migrate() {
+	w := r.world
+	w.migrateWaiting = append(w.migrateWaiting, r)
+	if len(w.migrateWaiting) == len(w.Ranks) {
+		at := r.thread.Now()
+		w.Cluster.Engine.At(at, func() { w.runBalancer() })
+	}
+	r.thread.Suspend()
+}
+
+// LastMigrations returns the records from the most recent balancing
+// step.
+func (w *World) LastMigrations() []MigrationRecord { return w.lastMigrations }
+
+// runBalancer executes one load-balancing step while every rank is
+// suspended in the Migrate collective (so no rank state is mutating and
+// no application messages are unmatched by construction of the callers).
+func (w *World) runBalancer() {
+	// Synchronization point: no rank resumes before the slowest PE
+	// reached the collective.
+	sync := w.Cluster.Engine.Now()
+	for _, s := range w.scheds {
+		if s.Now() > sync {
+			sync = s.Now()
+		}
+	}
+	waiting := w.migrateWaiting
+	w.migrateWaiting = nil
+	w.lastMigrations = nil
+
+	assign := make([]int, len(waiting))
+	loads := make([]lb.RankLoad, len(waiting))
+	for i, r := range waiting {
+		loads[i] = lb.RankLoad{
+			VP:         r.vp,
+			PE:         r.PE().ID,
+			Load:       r.thread.Load,
+			Migratable: r.ctx.Migratable,
+		}
+		assign[i] = loads[i].PE
+	}
+	shouldBalance := w.Cfg.Balancer != nil
+	if shouldBalance && w.Cfg.Trigger != nil && !w.Cfg.Trigger.ShouldBalance(loads, len(w.scheds)) {
+		shouldBalance = false
+		w.SkippedBalances++
+	}
+	if shouldBalance {
+		assign = w.Cfg.Balancer.Rebalance(loads, len(w.scheds))
+		if err := lb.Validate(loads, len(w.scheds), assign); err != nil {
+			w.fail(fmt.Errorf("ampi: balancer %s produced an invalid mapping: %w", w.Cfg.Balancer.Name(), err))
+			return
+		}
+	}
+
+	for i, r := range waiting {
+		r.thread.ResetLoad()
+		from, to := loads[i].PE, assign[i]
+		if from == to {
+			w.wakeAt(r, sync)
+			continue
+		}
+		if err := w.migrateRank(r, from, to, sync); err != nil {
+			w.fail(err)
+			return
+		}
+	}
+}
+
+// wakeAt resumes a suspended rank at virtual time t on its current
+// scheduler.
+func (w *World) wakeAt(r *Rank, t sim.Time) {
+	w.Cluster.Engine.At(t, func() { r.thread.Wake() })
+}
+
+// migrateRank serializes a rank, charges the transfer, and lands it on
+// the destination PE.
+func (w *World) migrateRank(r *Rank, from, to int, start sim.Time) error {
+	payload, err := r.ctx.Serialize()
+	if err != nil {
+		return fmt.Errorf("ampi: balancer selected an unmigratable rank: %w", err)
+	}
+	bytes := payload.Bytes()
+	cost := w.Cluster.Cost
+	srcPE, dstPE := w.Cluster.PE(from), w.Cluster.PE(to)
+	// Pack on the source, fly, unpack on the destination.
+	depart := start + cost.CopyTime(bytes)
+	arrive := depart + w.Cluster.TransferTime(srcPE, dstPE, bytes) +
+		cost.CopyTime(bytes) + cost.MigrationOverhead
+
+	src := w.scheds[from]
+	dst := w.scheds[to]
+	src.Remove(r.thread)
+	r.pe = dstPE // messages sent mid-flight route to the destination
+	w.Cluster.Engine.At(arrive, func() {
+		if err := r.ctx.RestoreInto(payload, w.sharedInstanceOf(dstPE.Proc)); err != nil {
+			w.fail(fmt.Errorf("ampi: restoring rank %d on PE %d: %w", r.vp, to, err))
+			return
+		}
+		dst.AdoptBlocked(r.thread)
+		w.Migrations++
+		w.MigratedBytes += bytes
+		w.lastMigrations = append(w.lastMigrations, MigrationRecord{
+			VP: r.vp, FromPE: from, ToPE: to, Bytes: bytes, Duration: arrive - start,
+		})
+		r.thread.Wake()
+	})
+	return nil
+}

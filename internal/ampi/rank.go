@@ -1,0 +1,244 @@
+package ampi
+
+import (
+	"fmt"
+
+	"provirt/internal/core"
+	"provirt/internal/machine"
+	"provirt/internal/sim"
+	"provirt/internal/ult"
+)
+
+// Wildcards for Recv/Irecv source and tag matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// message is one point-to-point payload in flight or queued.
+type message struct {
+	src      int // world rank
+	tag      int
+	comm     int // communicator id (WorldComm for rank-level ops)
+	bytes    uint64
+	data     []float64
+	internal bool // collective plumbing; never matches user wildcards
+}
+
+// Request is a nonblocking-operation handle.
+type Request struct {
+	rank     *Rank
+	src, tag int
+	comm     int
+	internal bool
+	recv     bool
+	done     bool
+	msg      *message
+	blocked  bool // owner thread suspended in Wait on this request
+}
+
+// Done reports whether the operation has completed.
+func (q *Request) Done() bool { return q.done }
+
+// Rank is one virtual MPI rank: a migratable user-level thread with a
+// privatized view of the program's global state.
+type Rank struct {
+	world  *World
+	vp     int
+	ctx    *core.RankContext
+	thread *ult.Thread
+	// pe is the rank's current (or, mid-migration, destination)
+	// processing element. Maintained by the world so that message
+	// routing works even while the rank's thread is in flight between
+	// schedulers.
+	pe *machine.PE
+
+	mailbox []*message // unexpected messages, FIFO
+	waits   []*Request // posted receive requests, FIFO
+
+	// world0 caches MPI_COMM_WORLD for the rank-level collectives.
+	world0 *Comm
+}
+
+// Rank reports the MPI rank number (MPI_Comm_rank).
+func (r *Rank) Rank() int { return r.vp }
+
+// Size reports the number of ranks (MPI_Comm_size).
+func (r *Rank) Size() int { return len(r.world.Ranks) }
+
+// Ctx exposes the rank's privatization context: the program's view of
+// its global/static variables under the active method.
+func (r *Rank) Ctx() *core.RankContext { return r.ctx }
+
+// World returns the job the rank belongs to.
+func (r *Rank) World() *World { return r.world }
+
+// PE returns the processing element currently hosting the rank (the
+// destination PE while a migration is in flight).
+func (r *Rank) PE() *machine.PE { return r.pe }
+
+// Wtime reports the rank's PE-local virtual clock (MPI_Wtime).
+func (r *Rank) Wtime() sim.Time { return r.thread.Now() }
+
+// Compute charges d of application compute time to the rank.
+func (r *Rank) Compute(d sim.Time) { r.thread.Advance(d) }
+
+// Yield cooperatively yields the PE to other ready ranks.
+func (r *Rank) Yield() { r.thread.Yield() }
+
+// Thread exposes the rank's user-level thread.
+func (r *Rank) Thread() *ult.Thread { return r.thread }
+
+func (r *Rank) checkUserTag(tag int) {
+	if tag < 0 && tag != AnyTag {
+		panic(fmt.Sprintf("ampi: rank %d: negative tag %d is reserved", r.vp, tag))
+	}
+}
+
+func (r *Rank) checkPeer(peer int) {
+	if peer < 0 || peer >= len(r.world.Ranks) {
+		panic(fmt.Sprintf("ampi: rank %d: peer %d out of range [0,%d)", r.vp, peer, len(r.world.Ranks)))
+	}
+}
+
+// Send is a standard-mode (eager) send of a message with the given
+// payload; bytes models the wire size and may exceed the payload (halo
+// exchanges carry modeled bulk without materializing it).
+func (r *Rank) Send(dst, tag int, data []float64, bytes uint64) {
+	r.checkUserTag(tag)
+	if tag == AnyTag {
+		panic(fmt.Sprintf("ampi: rank %d: send with wildcard tag", r.vp))
+	}
+	r.checkPeer(dst)
+	r.sendMsg(dst, tag, WorldComm, data, bytes, false)
+}
+
+func (r *Rank) sendMsg(dst, tag, comm int, data []float64, bytes uint64, internal bool) {
+	w := r.world
+	if bytes == 0 {
+		bytes = uint64(len(data)) * 8
+		if bytes == 0 {
+			bytes = 8
+		}
+	}
+	r.thread.Advance(w.Cluster.Cost.MsgSendOverhead)
+	dstRank := w.Ranks[dst]
+	var payload []float64
+	if data != nil {
+		payload = append([]float64(nil), data...)
+	}
+	m := &message{src: r.vp, tag: tag, comm: comm, bytes: bytes, data: payload, internal: internal}
+	arrive := r.thread.Now() + w.Cluster.TransferTime(r.PE(), dstRank.PE(), bytes)
+	w.Cluster.Engine.At(arrive, func() { dstRank.deliver(m) })
+}
+
+// match reports whether a posted request accepts a message.
+func match(q *Request, m *message) bool {
+	if q.internal != m.internal || q.comm != m.comm {
+		return false
+	}
+	if q.src != AnySource && q.src != m.src {
+		return false
+	}
+	if q.tag != AnyTag && q.tag != m.tag {
+		return false
+	}
+	return true
+}
+
+// deliver lands a message at the rank (runs as an engine event). A
+// matching posted receive completes; otherwise the message queues as
+// unexpected.
+func (r *Rank) deliver(m *message) {
+	for i, q := range r.waits {
+		if match(q, m) {
+			r.waits = append(r.waits[:i], r.waits[i+1:]...)
+			q.msg = m
+			q.done = true
+			if q.blocked {
+				q.blocked = false
+				r.thread.Wake()
+			}
+			return
+		}
+	}
+	r.mailbox = append(r.mailbox, m)
+}
+
+// Irecv posts a nonblocking receive.
+func (r *Rank) Irecv(src, tag int) *Request {
+	if src != AnySource {
+		r.checkPeer(src)
+	}
+	r.checkUserTag(tag)
+	return r.irecvComm(src, tag, WorldComm, false)
+}
+
+// Isend starts a nonblocking send. Sends are eager and buffered, so
+// the returned request is already complete; it exists for call-site
+// symmetry with MPI programs.
+func (r *Rank) Isend(dst, tag int, data []float64, bytes uint64) *Request {
+	r.Send(dst, tag, data, bytes)
+	return &Request{rank: r, done: true}
+}
+
+// Wait blocks until the request completes and returns the received
+// payload (nil for sends).
+func (r *Rank) Wait(q *Request) []float64 {
+	if q.rank != r {
+		panic(fmt.Sprintf("ampi: rank %d waiting on rank %d's request", r.vp, q.rank.vp))
+	}
+	if !q.done {
+		q.blocked = true
+		r.thread.Suspend()
+		if !q.done {
+			panic(fmt.Sprintf("ampi: rank %d woke from Wait with incomplete request", r.vp))
+		}
+	}
+	r.thread.Advance(r.world.Cluster.Cost.MsgRecvOverhead)
+	if q.msg != nil {
+		return q.msg.data
+	}
+	return nil
+}
+
+// Waitall completes all requests, returning payloads in request order.
+func (r *Rank) Waitall(qs []*Request) [][]float64 {
+	out := make([][]float64, len(qs))
+	for i, q := range qs {
+		out[i] = r.Wait(q)
+	}
+	return out
+}
+
+// Recv blocks until a matching message arrives and returns its payload.
+func (r *Rank) Recv(src, tag int) []float64 {
+	return r.Wait(r.Irecv(src, tag))
+}
+
+// RecvMsg is Recv returning the full envelope (source and tag), for
+// wildcard receives.
+func (r *Rank) RecvMsg(src, tag int) (data []float64, from, msgTag int) {
+	q := r.Irecv(src, tag)
+	data = r.Wait(q)
+	return data, q.msg.src, q.msg.tag
+}
+
+// Sendrecv performs a combined send and receive without deadlock.
+func (r *Rank) Sendrecv(dst, sendTag int, data []float64, bytes uint64, src, recvTag int) []float64 {
+	q := r.Irecv(src, recvTag)
+	r.Send(dst, sendTag, data, bytes)
+	return r.Wait(q)
+}
+
+// Probe reports whether a matching message is queued, without
+// consuming it.
+func (r *Rank) Probe(src, tag int) bool {
+	q := &Request{src: src, tag: tag}
+	for _, m := range r.mailbox {
+		if match(q, m) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,92 @@
+package ampi
+
+import (
+	"fmt"
+
+	"provirt/internal/sim"
+	"provirt/internal/trace"
+)
+
+// PEStats is one processing element's activity summary.
+type PEStats struct {
+	PE         int
+	Busy       sim.Time
+	SwitchTime sim.Time
+	Switches   uint64
+	Ranks      int
+	// Utilization is Busy divided by the job's elapsed execution time.
+	Utilization float64
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	Execution     sim.Time
+	Startup       sim.Time
+	Switches      uint64
+	Migrations    int
+	MigratedBytes uint64
+	Skipped       int
+	PEs           []PEStats
+	// MeanUtilization averages PE utilization over execution time.
+	MeanUtilization float64
+	// LoadImbalance is max/mean PE busy time.
+	LoadImbalance float64
+}
+
+// Stats computes the run summary. Call after Run.
+func (w *World) Stats() Stats {
+	s := Stats{
+		Execution:     w.ExecutionTime(),
+		Startup:       w.SetupDone,
+		Switches:      w.TotalSwitches(),
+		Migrations:    w.Migrations,
+		MigratedBytes: w.MigratedBytes,
+		Skipped:       w.SkippedBalances,
+	}
+	exec := float64(s.Execution)
+	var total, max sim.Time
+	for i, sched := range w.scheds {
+		ps := PEStats{
+			PE:         i,
+			Busy:       sched.BusyTime(),
+			SwitchTime: sched.SwitchTime(),
+			Switches:   sched.Switches(),
+			Ranks:      len(sched.Threads()),
+		}
+		if exec > 0 {
+			ps.Utilization = float64(ps.Busy) / exec
+		}
+		total += ps.Busy
+		if ps.Busy > max {
+			max = ps.Busy
+		}
+		s.PEs = append(s.PEs, ps)
+		s.MeanUtilization += ps.Utilization
+	}
+	if n := len(s.PEs); n > 0 {
+		s.MeanUtilization /= float64(n)
+		if total > 0 {
+			s.LoadImbalance = float64(max) / (float64(total) / float64(n))
+		}
+	}
+	return s
+}
+
+// Table renders the per-PE breakdown.
+func (s Stats) Table() *trace.Table {
+	t := trace.NewTable(
+		fmt.Sprintf("run: exec %s, %d switches, %d migrations (%s), imbalance %.2f",
+			trace.FormatDuration(s.Execution), s.Switches, s.Migrations,
+			trace.FormatBytes(int64(s.MigratedBytes)), s.LoadImbalance),
+		"PE", "Busy", "Util", "Switches", "Resident ranks")
+	for _, pe := range s.PEs {
+		t.AddRow(
+			fmt.Sprint(pe.PE),
+			trace.FormatDuration(pe.Busy),
+			fmt.Sprintf("%.0f%%", pe.Utilization*100),
+			fmt.Sprint(pe.Switches),
+			fmt.Sprint(pe.Ranks),
+		)
+	}
+	return t
+}

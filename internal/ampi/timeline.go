@@ -1,0 +1,63 @@
+package ampi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"provirt/internal/sim"
+	"provirt/internal/ult"
+)
+
+// EnableTracing turns on Projections-style execution-span recording on
+// every PE. Call before Run; spans accumulate for the whole job.
+// Charm++ users analyze AMPI runs with exactly this kind of per-PE
+// timeline (the Projections tool) when tuning virtualization ratios
+// and load balancing.
+func (w *World) EnableTracing() {
+	for _, s := range w.scheds {
+		s.Trace = true
+	}
+}
+
+// TimelinePE is one PE's execution timeline.
+type TimelinePE struct {
+	PE    int        `json:"pe"`
+	Spans []ult.Span `json:"spans"`
+}
+
+// Timeline is a whole job's execution trace plus migration events.
+type Timeline struct {
+	PEs        []TimelinePE      `json:"pes"`
+	Migrations []MigrationRecord `json:"migrations,omitempty"`
+	// Execution is the job's virtual execution time in nanoseconds.
+	Execution sim.Time `json:"execution_ns"`
+}
+
+// Timeline collects the recorded spans. Call after Run, with tracing
+// enabled beforehand.
+func (w *World) Timeline() (*Timeline, error) {
+	tl := &Timeline{Execution: w.ExecutionTime(), Migrations: w.lastMigrations}
+	traced := false
+	for i, s := range w.scheds {
+		if s.Trace {
+			traced = true
+		}
+		tl.PEs = append(tl.PEs, TimelinePE{PE: i, Spans: s.Spans})
+	}
+	if !traced {
+		return nil, fmt.Errorf("ampi: tracing was not enabled; call EnableTracing before Run")
+	}
+	return tl, nil
+}
+
+// WriteTimeline emits the trace as JSON.
+func (w *World) WriteTimeline(out io.Writer) error {
+	tl, err := w.Timeline()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tl)
+}

@@ -1,0 +1,99 @@
+package ampi_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/machine"
+	"provirt/internal/sim"
+	"provirt/internal/workloads/synth"
+)
+
+func TestTimelineSpans(t *testing.T) {
+	per := []sim.Time{2e6, 1e6, 3e6, 1e6}
+	prog := synth.ComputeBound(per, 3)
+	w, err := ampi.NewWorld(ampi.Config{
+		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 2},
+		VPs:       4,
+		Privatize: core.KindPIEglobals,
+	}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.EnableTracing()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := w.Timeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.PEs) != 2 {
+		t.Fatalf("%d PE timelines", len(tl.PEs))
+	}
+	for _, pe := range tl.PEs {
+		if len(pe.Spans) == 0 {
+			t.Fatalf("PE %d has no spans", pe.PE)
+		}
+		var busy sim.Time
+		prevEnd := sim.Time(-1)
+		for _, sp := range pe.Spans {
+			if sp.End < sp.Start {
+				t.Fatalf("inverted span %+v", sp)
+			}
+			if sp.Start < prevEnd {
+				t.Fatalf("overlapping spans on PE %d", pe.PE)
+			}
+			prevEnd = sp.End
+			busy += sp.End - sp.Start
+		}
+		// Span time equals the scheduler's busy accounting.
+		if busy != w.Scheds()[pe.PE].BusyTime() {
+			t.Errorf("PE %d span total %v != busy %v", pe.PE, busy, w.Scheds()[pe.PE].BusyTime())
+		}
+	}
+}
+
+func TestWriteTimelineJSON(t *testing.T) {
+	prog := synth.ComputeBound([]sim.Time{1e6}, 2)
+	w, err := ampi.NewWorld(ampi.Config{
+		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 1},
+		VPs:       2,
+		Privatize: core.KindNone,
+	}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.EnableTracing()
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded ampi.Timeline
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if len(decoded.PEs) != 1 || len(decoded.PEs[0].Spans) == 0 {
+		t.Fatal("decoded timeline empty")
+	}
+}
+
+func TestTimelineRequiresTracing(t *testing.T) {
+	prog := synth.Empty()
+	w, err := ampi.NewWorld(smallConfig(1, core.KindNone), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Timeline(); err == nil {
+		t.Fatal("timeline without tracing accepted")
+	}
+}

@@ -1,0 +1,332 @@
+// Package ampi is the reproduction's Adaptive-MPI-like runtime: an MPI
+// layer whose ranks are migratable user-level threads scheduled
+// cooperatively on the PEs of a simulated cluster, with global/static
+// state privatized by a method from internal/core.
+//
+// Programs are Go functions receiving a *Rank; they use the familiar
+// MPI surface (Send/Recv/Isend/Irecv/Wait, Barrier, Bcast, Reduce,
+// Allreduce, Gather, Scatter, user-defined reduction operators) plus
+// AMPI extensions (Migrate). Blocking calls suspend the rank's
+// user-level thread so another rank can run — message-driven
+// overdecomposition exactly as §2.1 describes.
+package ampi
+
+import (
+	"errors"
+	"fmt"
+
+	"provirt/internal/core"
+	"provirt/internal/elf"
+	"provirt/internal/lb"
+	"provirt/internal/loader"
+	"provirt/internal/machine"
+	"provirt/internal/sim"
+	"provirt/internal/ult"
+)
+
+// Program is a virtualizable MPI program: its synthetic binary image
+// plus the Go function each rank executes.
+type Program struct {
+	Image *elf.Image
+	// Main is the rank body (the MPI main after MPI_Init).
+	Main func(r *Rank)
+	// ReduceFuncs maps image function names to the Go implementations
+	// of user-defined reduction operators created with OpCreate.
+	ReduceFuncs map[string]ReduceFunc
+}
+
+// Config describes a virtualized run: the machine, the degree of
+// virtualization, and the privatization method.
+type Config struct {
+	Machine machine.Config
+	// VPs is the number of virtual ranks (+vp N).
+	VPs int
+	// Privatize selects the privatization method.
+	Privatize core.Kind
+	// Method, if non-nil, overrides Privatize with a configured
+	// method instance (e.g. core.NewPIEglobals with future-work
+	// options).
+	Method core.Method
+	// Toolchain and OS describe the build/run environment; zero values
+	// select the paper's Bridges-2 environment.
+	Toolchain core.Toolchain
+	OS        core.OS
+	// StackSize overrides the default 1 MiB per-rank ULT stack.
+	StackSize uint64
+	// Balancer, if set, runs at every AMPI_Migrate collective.
+	Balancer lb.Strategy
+	// Trigger, if set, gates the balancer: balancing only runs when
+	// ShouldBalance reports true (e.g. lb.ImbalanceTrigger). Nil
+	// balances at every opportunity.
+	Trigger lb.Trigger
+
+	// restart, when set via NewWorldFromCheckpoint, restores every
+	// rank's state from the snapshot before its thread first runs.
+	restart *Checkpoint
+}
+
+// normalize fills defaults.
+func (c *Config) normalize() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if c.VPs <= 0 {
+		return fmt.Errorf("ampi: VPs must be positive, got %d", c.VPs)
+	}
+	if c.Toolchain == (core.Toolchain{}) && !osSet(c.OS) {
+		c.Toolchain, c.OS = core.Bridges2Env()
+	}
+	return nil
+}
+
+func osSet(o core.OS) bool { return o != (core.OS{}) }
+
+// World is one virtualized MPI job.
+type World struct {
+	Cfg     Config
+	Cluster *machine.Cluster
+	Method  core.Method
+	Program *Program
+
+	Ranks  []*Rank
+	scheds []*ult.Scheduler
+	envs   []*core.ProcessEnv
+
+	// SetupDone is the virtual time at which privatization setup
+	// completed on the slowest process (Fig. 5's startup metric).
+	SetupDone sim.Time
+
+	// Migrations counts completed rank migrations.
+	Migrations int
+	// MigratedBytes counts payload bytes moved by migrations.
+	MigratedBytes uint64
+	// SkippedBalances counts Migrate collectives where the trigger
+	// declined to rebalance.
+	SkippedBalances int
+
+	migrateWaiting []*Rank
+	lastMigrations []MigrationRecord
+	ckptWaiting    []*Rank
+	lastCheckpoint *Checkpoint
+	runtimeErr     error
+}
+
+// NewWorld builds the cluster, runs privatization setup on every
+// process, and creates (but does not start) the rank threads.
+func NewWorld(cfg Config, prog *Program) (*World, error) {
+	if prog == nil || prog.Image == nil || prog.Main == nil {
+		return nil, errors.New("ampi: program must have an image and a main function")
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	cl, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	method := cfg.Method
+	if method == nil {
+		method = core.New(cfg.Privatize)
+	} else {
+		cfg.Privatize = method.Kind()
+	}
+	w := &World{Cfg: cfg, Cluster: cl, Method: method, Program: prog}
+
+	// Block-map VPs onto PEs: PE i runs VPs [i*V/P, (i+1)*V/P).
+	pes := cl.PEs()
+	vpPE := make([]int, cfg.VPs)
+	for vp := range vpPE {
+		vpPE[vp] = vp * len(pes) / cfg.VPs
+	}
+
+	// Per-process privatization setup. Processes start concurrently;
+	// the job's startup time is the slowest process.
+	var setupDone sim.Time
+	ctxByVP := make([]*core.RankContext, cfg.VPs)
+	sharedByProc := make(map[*machine.Process]*elf.Instance)
+	for _, proc := range cl.Processes() {
+		firstPE := proc.PEs[0].ID
+		env := &core.ProcessEnv{
+			Proc:      proc,
+			Cost:      cl.Cost,
+			Linker:    loader.New(proc, cl.Cost),
+			FS:        cl.FS,
+			Toolchain: cfg.Toolchain,
+			OS:        cfg.OS,
+			SMP:       cfg.Machine.SMPMode(),
+			StackSize: cfg.StackSize,
+			PEOfVP:    func(vp int) int { return vpPE[vp] - firstPE },
+		}
+		if err := w.Method.CheckEnv(env); err != nil {
+			return nil, err
+		}
+		var vps []int
+		for vp, pe := range vpPE {
+			if pes[pe].Proc == proc {
+				vps = append(vps, vp)
+			}
+		}
+		w.envs = append(w.envs, env)
+		res, err := w.Method.Setup(env, prog.Image, vps, 0)
+		if err != nil {
+			return nil, err
+		}
+		sharedByProc[proc] = res.SharedInstance
+		for i, vp := range vps {
+			ctxByVP[vp] = res.Contexts[i]
+		}
+		if res.Done > setupDone {
+			setupDone = res.Done
+		}
+	}
+	w.SetupDone = setupDone
+
+	// One scheduler per PE, with the method's context-switch surcharge.
+	for _, pe := range pes {
+		s := ult.NewScheduler(pe, cl.Engine, cl.Cost)
+		s.SwitchExtra = func(from, to *ult.Thread) sim.Time {
+			return w.Method.SwitchExtra(rankCtx(from), rankCtx(to))
+		}
+		w.scheds = append(w.scheds, s)
+	}
+
+	// Rank objects and their threads.
+	for vp := 0; vp < cfg.VPs; vp++ {
+		r := &Rank{world: w, vp: vp, ctx: ctxByVP[vp], pe: pes[vpPE[vp]]}
+		r.thread = ult.NewThread(vp, func(t *ult.Thread) {
+			prog.Main(r)
+		})
+		r.thread.Context = r.ctx
+		r.ctx.Thread = r.thread
+		w.Ranks = append(w.Ranks, r)
+	}
+
+	if cfg.restart != nil {
+		// Restarting from a checkpoint: threads start only after
+		// their state is read back and restored.
+		if err := w.restoreFromCheckpoint(cfg.restart, vpPE); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	// Hand ranks to their home schedulers once setup completes.
+	cl.Engine.At(setupDone, func() {
+		for vp, r := range w.Ranks {
+			w.scheds[vpPE[vp]].Adopt(r.thread)
+		}
+	})
+	return w, nil
+}
+
+func rankCtx(t *ult.Thread) *core.RankContext {
+	if t == nil {
+		return nil
+	}
+	ctx, _ := t.Context.(*core.RankContext)
+	return ctx
+}
+
+// Run drives the simulation until every rank finishes. It returns the
+// first rank error or runtime error encountered.
+func (w *World) Run() error {
+	err := w.Cluster.Engine.Run(func() bool {
+		if w.runtimeErr != nil {
+			return true
+		}
+		for _, r := range w.Ranks {
+			if r.thread.State() != ult.Done {
+				return false
+			}
+		}
+		return true
+	})
+	if w.runtimeErr != nil {
+		return w.runtimeErr
+	}
+	// A rank that died of a panic explains any apparent deadlock, so
+	// report it first.
+	for _, r := range w.Ranks {
+		if r.thread.Err != nil {
+			return r.thread.Err
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("ampi: %w (%s)", err, w.describeStall())
+	}
+	return nil
+}
+
+// describeStall summarizes rank states for deadlock diagnostics.
+func (w *World) describeStall() string {
+	states := make(map[ult.State]int)
+	for _, r := range w.Ranks {
+		states[r.thread.State()]++
+	}
+	return fmt.Sprintf("rank states: %v", states)
+}
+
+// fail records a fatal runtime error and halts the simulation.
+func (w *World) fail(err error) {
+	if w.runtimeErr == nil {
+		w.runtimeErr = err
+	}
+	w.Cluster.Engine.Halt()
+}
+
+// Time reports the maximum PE-local clock — the job's elapsed virtual
+// time.
+func (w *World) Time() sim.Time {
+	var t sim.Time
+	for _, s := range w.scheds {
+		if s.Now() > t {
+			t = s.Now()
+		}
+	}
+	return t
+}
+
+// ExecutionTime reports job time excluding startup.
+func (w *World) ExecutionTime() sim.Time {
+	t := w.Time()
+	if t < w.SetupDone {
+		return 0
+	}
+	return t - w.SetupDone
+}
+
+// TotalSwitches sums ULT context switches across PEs.
+func (w *World) TotalSwitches() uint64 {
+	var n uint64
+	for _, s := range w.scheds {
+		n += s.Switches()
+	}
+	return n
+}
+
+// Scheds exposes the per-PE schedulers (read-only use).
+func (w *World) Scheds() []*ult.Scheduler { return w.scheds }
+
+// EnvFor returns the process environment a PE belongs to.
+func (w *World) EnvFor(pe *machine.PE) *core.ProcessEnv {
+	for _, env := range w.envs {
+		if env.Proc == pe.Proc {
+			return env
+		}
+	}
+	return nil
+}
+
+// sharedInstanceOf returns the base program instance of a process.
+func (w *World) sharedInstanceOf(proc *machine.Process) *elf.Instance {
+	for _, env := range w.envs {
+		if env.Proc == proc {
+			// The base instance is namespace 0's first handle.
+			for _, h := range env.Linker.Handles() {
+				if h.Path == w.Program.Image.Name {
+					return h.Inst
+				}
+			}
+		}
+	}
+	return nil
+}

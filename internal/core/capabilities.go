@@ -1,0 +1,169 @@
+package core
+
+// Capabilities is a method's row in the paper's Table 1 / Table 3,
+// plus machine-readable flags the runtime enforces.
+type Capabilities struct {
+	// DisplayName is the row label used in Table 3.
+	DisplayName string
+	// Automation, Portability, SMPSupport, MigrationSupport are the
+	// verbatim cell texts of Table 3.
+	Automation       string
+	Portability      string
+	SMPSupport       string
+	MigrationSupport string
+
+	// SupportsSMP reports whether the method can run with multiple PE
+	// scheduler threads per OS process at all.
+	SupportsSMP bool
+	// SMPNeedsPatchedGlibc reports the PIPglobals caveat: SMP-scale
+	// virtualization requires the patched glibc.
+	SMPNeedsPatchedGlibc bool
+	// SupportsMigration reports whether ranks privatized by this
+	// method can migrate between address spaces.
+	SupportsMigration bool
+	// PrivatizesStatics reports whether static variables are
+	// privatized (Swapglobals' gap).
+	PrivatizesStatics bool
+	// PrivatizesUntagged reports whether mutable variables the
+	// programmer did not tag thread_local are privatized (TLSglobals'
+	// gap).
+	PrivatizesUntagged bool
+	// FullyAutomatic reports zero per-variable programmer effort.
+	FullyAutomatic bool
+	// Novel reports the method is one of the paper's three new runtime
+	// techniques.
+	Novel bool
+}
+
+// capabilityTable holds each method's declared row. Cell strings match
+// Table 3 of the paper.
+var capabilityTable = map[Kind]Capabilities{
+	KindNone: {
+		DisplayName:        "none (unsafe)",
+		Automation:         "n/a",
+		Portability:        "n/a",
+		SMPSupport:         "Yes",
+		MigrationSupport:   "Yes",
+		SupportsSMP:        true,
+		SupportsMigration:  true,
+		PrivatizesStatics:  false,
+		PrivatizesUntagged: false,
+	},
+	KindManual: {
+		DisplayName:        "Manual refactoring",
+		Automation:         "Poor",
+		Portability:        "Good",
+		SMPSupport:         "Yes",
+		MigrationSupport:   "Yes",
+		SupportsSMP:        true,
+		SupportsMigration:  true,
+		PrivatizesStatics:  true,
+		PrivatizesUntagged: true,
+	},
+	KindPhotran: {
+		DisplayName:        "Photran",
+		Automation:         "Fortran-specific",
+		Portability:        "Good",
+		SMPSupport:         "Yes",
+		MigrationSupport:   "Yes",
+		SupportsSMP:        true,
+		SupportsMigration:  true,
+		PrivatizesStatics:  true,
+		PrivatizesUntagged: true,
+	},
+	KindSwapglobals: {
+		DisplayName:        "Swapglobals",
+		Automation:         "No static vars",
+		Portability:        "Linker-specific",
+		SMPSupport:         "No",
+		MigrationSupport:   "Yes",
+		SupportsSMP:        false,
+		SupportsMigration:  true,
+		PrivatizesStatics:  false,
+		PrivatizesUntagged: true,
+		FullyAutomatic:     true,
+	},
+	KindTLSglobals: {
+		DisplayName:        "TLSglobals",
+		Automation:         "Mediocre",
+		Portability:        "Compiler-specific",
+		SMPSupport:         "Yes",
+		MigrationSupport:   "Yes",
+		SupportsSMP:        true,
+		SupportsMigration:  true,
+		PrivatizesStatics:  true, // tagged statics work
+		PrivatizesUntagged: false,
+	},
+	KindMPCPrivatize: {
+		DisplayName:        "-fmpc-privatize",
+		Automation:         "Good",
+		Portability:        "Compiler-specific",
+		SMPSupport:         "Yes",
+		MigrationSupport:   "Not implemented, but possible",
+		SupportsSMP:        true,
+		SupportsMigration:  false,
+		PrivatizesStatics:  true,
+		PrivatizesUntagged: true,
+		FullyAutomatic:     true,
+	},
+	KindPIPglobals: {
+		DisplayName:          "PIPglobals",
+		Automation:           "Good",
+		Portability:          "Requires GNU libc extension",
+		SMPSupport:           "Limited w/o patched glibc",
+		MigrationSupport:     "No",
+		SupportsSMP:          true,
+		SMPNeedsPatchedGlibc: true,
+		SupportsMigration:    false,
+		PrivatizesStatics:    true,
+		PrivatizesUntagged:   true,
+		FullyAutomatic:       true,
+		Novel:                true,
+	},
+	KindFSglobals: {
+		DisplayName:        "FSglobals",
+		Automation:         "Good",
+		Portability:        "Shared file system needed",
+		SMPSupport:         "Yes",
+		MigrationSupport:   "No",
+		SupportsSMP:        true,
+		SupportsMigration:  false,
+		PrivatizesStatics:  true,
+		PrivatizesUntagged: true,
+		FullyAutomatic:     true,
+		Novel:              true,
+	},
+	KindPIEglobals: {
+		DisplayName:        "PIEglobals",
+		Automation:         "Good",
+		Portability:        "Implemented w/ GNU libc extension",
+		SMPSupport:         "Yes",
+		MigrationSupport:   "Yes",
+		SupportsSMP:        true,
+		SupportsMigration:  true,
+		PrivatizesStatics:  true,
+		PrivatizesUntagged: true,
+		FullyAutomatic:     true,
+		Novel:              true,
+	},
+}
+
+// CapabilitiesOf returns the Table 3 row for a method kind.
+func CapabilitiesOf(k Kind) Capabilities { return capabilityTable[k] }
+
+// Table3Order lists the methods in the paper's Table 3 row order.
+func Table3Order() []Kind {
+	return []Kind{
+		KindManual, KindPhotran, KindSwapglobals, KindTLSglobals,
+		KindMPCPrivatize, KindPIPglobals, KindFSglobals, KindPIEglobals,
+	}
+}
+
+// Table1Order lists the methods in the paper's Table 1 row order (the
+// pre-existing techniques only).
+func Table1Order() []Kind {
+	return []Kind{
+		KindManual, KindPhotran, KindSwapglobals, KindTLSglobals,
+		KindMPCPrivatize, KindPIPglobals,
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+
+	"provirt/internal/elf"
+	"provirt/internal/machine"
+	"provirt/internal/mem"
+	"provirt/internal/sim"
+	"provirt/internal/ult"
+)
+
+// storageKind records where a rank's view of one variable lives; it
+// drives both the access-cost charge and the migration story.
+type storageKind int
+
+const (
+	storeShared   storageKind = iota // base instance data segment (unprivatized)
+	storePrivSeg                     // rank's private duplicated data segment
+	storeTLS                         // rank's TLS block
+	storeHeapCell                    // per-rank heap cell (manual refactor / swapglobals copy)
+	storeCoreCell                    // per-core cell (hierarchical local storage)
+	storeNodeCell                    // per-node/process cell (hierarchical local storage)
+)
+
+// RankContext is one virtual rank's privatized view of the program: for
+// every variable, the storage its loads and stores reach under the
+// active method, plus the rank's Isomalloc heap and user-level thread
+// stack.
+type RankContext struct {
+	VP     int
+	Method Method
+	Img    *elf.Image
+
+	// Shared is the base (namespace-0) program instance all ranks in
+	// the process can see.
+	Shared *elf.Instance
+	// Private is the rank's own instance under segment-duplicating
+	// methods (PIP/FS/PIE), else nil.
+	Private *elf.Instance
+	// TLS is the rank's thread-local storage block (TLSglobals,
+	// -fmpc-privatize, and PIEglobals-with-TLS), else nil.
+	TLS []uint64
+	// coreCells and nodeCells are hierarchical-local-storage blocks
+	// shared with, respectively, the other ranks on this rank's core
+	// and every rank in the process (HLS, §2.3.5).
+	coreCells []uint64
+	nodeCells []uint64
+
+	// Heap is the rank's Isomalloc heap (stack, user allocations, and —
+	// under PIEglobals — the duplicated segments themselves).
+	Heap *mem.Heap
+	// Stack is the rank's user-level thread stack block.
+	Stack *mem.Block
+
+	// Migratable reports whether the rank's complete state can be
+	// serialized and reconstructed in another address space.
+	Migratable bool
+	// MigrationVeto explains why migration is unsupported, for error
+	// messages ("code segments were mapped by ld.so, not Isomalloc").
+	MigrationVeto string
+
+	// Thread is the user-level thread executing this rank, once bound.
+	Thread *ult.Thread
+
+	// Per-variable resolution, indexed by elf.Var.Index.
+	cells []cellRef
+	// tlsSlot maps a variable index to its slot in TLS, or -1.
+	tlsSlot []int
+	// heapCells is the per-rank privatized-copy block for manual /
+	// swapglobals methods, else nil.
+	heapCells *mem.Block
+
+	// pieCodeAddr/pieDataAddr are the Isomalloc addresses of the
+	// duplicated segments under PIEglobals (used to rebind after
+	// migration restore).
+	pieCodeAddr uint64
+	pieDataAddr uint64
+	// pieHeapObjAddrs maps original ctor heap object addresses to the
+	// rank's replicated copies (PIEglobals).
+	pieHeapObjAddrs map[uint64]uint64
+
+	// accesses counts privatized loads+stores for reporting.
+	accesses uint64
+
+	costModel *machine.CostModel
+}
+
+type cellRef struct {
+	kind storageKind
+	slot int      // index into the owning storage array
+	cost sim.Time // per-access charge
+}
+
+// newContext returns a context with heap + stack prepared; methods fill
+// in storage resolution.
+func newContext(m Method, env *ProcessEnv, img *elf.Image, shared *elf.Instance, vp int) (*RankContext, error) {
+	heap := mem.NewHeap(vp)
+	stackSize := env.StackSize
+	if stackSize == 0 {
+		stackSize = 1 << 20 // AMPI's default 1 MiB ULT stack
+	}
+	stack, err := heap.AllocBallast(stackSize, "ult-stack")
+	if err != nil {
+		return nil, err
+	}
+	c := &RankContext{
+		VP:        vp,
+		Method:    m,
+		Img:       img,
+		Shared:    shared,
+		Heap:      heap,
+		Stack:     stack,
+		costModel: env.Cost,
+	}
+	c.cells = make([]cellRef, len(img.Vars))
+	c.tlsSlot = make([]int, len(img.Vars))
+	for i := range c.tlsSlot {
+		c.tlsSlot[i] = -1
+	}
+	return c, nil
+}
+
+// storage returns the backing slice and element index for a variable.
+func (c *RankContext) storage(v *elf.Var) (*uint64, error) {
+	ref := c.cells[v.Index]
+	switch ref.kind {
+	case storeShared:
+		return &c.Shared.Data[v.Index], nil
+	case storePrivSeg:
+		if c.Private == nil {
+			return nil, fmt.Errorf("core: rank %d: private segment storage with no private instance", c.VP)
+		}
+		return &c.Private.Data[v.Index], nil
+	case storeTLS:
+		return &c.TLS[ref.slot], nil
+	case storeHeapCell:
+		return &c.heapCells.Words[ref.slot], nil
+	case storeCoreCell:
+		return &c.coreCells[ref.slot], nil
+	case storeNodeCell:
+		return &c.nodeCells[ref.slot], nil
+	default:
+		return nil, fmt.Errorf("core: rank %d: unresolved storage for %s", c.VP, v.Name)
+	}
+}
+
+// Var returns an access handle for the named variable. Unknown names
+// are programming errors and panic, matching the behaviour of an
+// undefined symbol at link time.
+func (c *RankContext) Var(name string) VarHandle {
+	v := c.Img.VarByName(name)
+	if v == nil {
+		panic(fmt.Sprintf("core: program %q has no variable %q", c.Img.Name, name))
+	}
+	return VarHandle{ctx: c, v: v}
+}
+
+// Load reads the named variable, charging access cost to the rank's
+// thread.
+func (c *RankContext) Load(name string) uint64 { return c.Var(name).Load() }
+
+// Store writes the named variable, charging access cost to the rank's
+// thread.
+func (c *RankContext) Store(name string, val uint64) { c.Var(name).Store(val) }
+
+// Accesses reports the number of loads+stores performed through this
+// context.
+func (c *RankContext) Accesses() uint64 { return c.accesses }
+
+// ChargeAccesses charges the cost of n additional variable accesses of
+// the named variable without performing them — workloads use it to
+// model inner loops that touch privatized globals billions of times
+// without executing each touch.
+func (c *RankContext) ChargeAccesses(name string, n uint64) {
+	v := c.Img.VarByName(name)
+	if v == nil {
+		panic(fmt.Sprintf("core: program %q has no variable %q", c.Img.Name, name))
+	}
+	if c.Thread != nil {
+		c.Thread.Advance(sim.Time(n) * c.cells[v.Index].cost)
+	}
+	c.accesses += n
+}
+
+// VarHandle is a resolved accessor for one variable in one rank's
+// context.
+type VarHandle struct {
+	ctx *RankContext
+	v   *elf.Var
+}
+
+// Name returns the variable's name.
+func (h VarHandle) Name() string { return h.v.Name }
+
+// Addr returns the virtual address the rank's accesses reach — useful
+// for the pointer-identity tests and pieglobalsfind.
+func (h VarHandle) Addr() uint64 {
+	ref := h.ctx.cells[h.v.Index]
+	switch ref.kind {
+	case storeShared:
+		return h.ctx.Shared.VarAddr(h.v)
+	case storePrivSeg:
+		return h.ctx.Private.VarAddr(h.v)
+	case storeTLS:
+		// TLS cells live in the rank's heap-resident TLS block in the
+		// real system; model a stable synthetic address derived from
+		// the rank's reserved range top.
+		return h.ctx.Heap.Base() + mem.IsomallocRangeSize - uint64(len(h.ctx.TLS)-ref.slot)*8
+	case storeHeapCell:
+		return h.ctx.heapCells.Addr + uint64(ref.slot)*8
+	default:
+		// Hierarchical-local-storage cells live in runtime-owned
+		// shared blocks with no modeled address.
+		return 0
+	}
+}
+
+// Load reads the variable, charging the method's access cost.
+func (h VarHandle) Load() uint64 {
+	c := h.ctx
+	cell, err := c.storage(h.v)
+	if err != nil {
+		panic(err)
+	}
+	if c.Thread != nil {
+		c.Thread.Advance(c.cells[h.v.Index].cost)
+	}
+	c.accesses++
+	return *cell
+}
+
+// Store writes the variable, charging the method's access cost. Writing
+// a const-class variable panics: the program is violating its own
+// write-once contract.
+func (h VarHandle) Store(val uint64) {
+	if h.v.Class == elf.ClassConst {
+		panic(fmt.Sprintf("core: store to const variable %s", h.v.Name))
+	}
+	c := h.ctx
+	cell, err := c.storage(h.v)
+	if err != nil {
+		panic(err)
+	}
+	if c.Thread != nil {
+		c.Thread.Advance(c.cells[h.v.Index].cost)
+	}
+	c.accesses++
+	*cell = val
+}
+
+// Privatized reports whether the rank sees private storage for the
+// variable (false means accesses reach process-shared state).
+func (h VarHandle) Privatized() bool {
+	k := h.ctx.cells[h.v.Index].kind
+	return k != storeShared
+}
+
+// resolveAll assigns every variable a storage location. decide returns
+// the storage for mutable variables; const variables always resolve to
+// the shared instance.
+func (c *RankContext) resolveAll(env *ProcessEnv, decide func(v *elf.Var) cellRef) {
+	direct := accessCost(env.Cost, false)
+	for _, v := range c.Img.Vars {
+		if !v.Mutable() {
+			c.cells[v.Index] = cellRef{kind: storeShared, cost: direct}
+			continue
+		}
+		c.cells[v.Index] = decide(v)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import "fmt"
+
+// FindResult is pieglobalsfind's answer: the original (debugger-
+// friendly) address corresponding to a privatized one, plus the symbol
+// it falls in, if any.
+type FindResult struct {
+	// Original is the equivalent address in the base instance as
+	// mapped by the system's runtime linker — the address debug
+	// symbols describe.
+	Original uint64
+	// Segment is "code" or "data".
+	Segment string
+	// Symbol is the function containing the address (code) or the
+	// variable at the address (data); empty if the address falls in
+	// segment bulk.
+	Symbol string
+	// Offset is the byte offset within Symbol.
+	Offset uint64
+}
+
+// PieglobalsFind translates an address inside a rank's privatized
+// (manually copied) code or data segment back to its original location
+// as allocated by the system's runtime linker, so that a debugger can
+// associate it with debug symbols (§3.3). It is the facility the paper
+// provides because GDB/LLDB backtraces through the copied segments are
+// otherwise "mostly mysterious".
+func PieglobalsFind(c *RankContext, addr uint64) (*FindResult, error) {
+	if c.Private == nil {
+		return nil, fmt.Errorf("core: pieglobalsfind: rank %d has no privatized segments", c.VP)
+	}
+	in, base := c.Private, c.Shared
+	switch {
+	case in.ContainsCode(addr):
+		off := addr - in.CodeBase
+		res := &FindResult{Original: base.CodeBase + off, Segment: "code"}
+		if f := base.FuncAt(res.Original); f != nil {
+			res.Symbol = f.Name
+			res.Offset = res.Original - base.FuncAddr(f)
+		}
+		return res, nil
+	case in.ContainsData(addr):
+		off := addr - in.DataBase
+		res := &FindResult{Original: base.DataBase + off, Segment: "data"}
+		if idx := int(off / 8); idx < len(c.Img.Vars) && off%8 == 0 {
+			res.Symbol = c.Img.Vars[idx].Name
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("core: pieglobalsfind: address %#x is not in rank %d's privatized segments (code [%#x,%#x), data [%#x,%#x))",
+			addr, c.VP, in.CodeBase, in.CodeBase+c.Img.CodeSize, in.DataBase, in.DataBase+c.Img.DataSize)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPIEglobalsOpensOncePerProcess pins the §3.3 fix: PIEglobals must
+// dlopen the user's shared object exactly once per OS process — not
+// once per virtual rank — to avoid glibc crashes from dlopen/pthread
+// interactions in SMP mode. The duplication happens via Isomalloc
+// memcpy, not via the linker.
+func TestPIEglobalsOpensOncePerProcess(t *testing.T) {
+	env := testEnv(t, true) // SMP process
+	img := testImage(t)
+	res := setup(t, KindPIEglobals, env, img, 8)
+	if got := len(env.Linker.Handles()); got != 1 {
+		t.Fatalf("PIEglobals loaded %d linker objects for 8 ranks, want 1 (dlopen once per process)", got)
+	}
+	if env.Linker.NamespacesInUse() != 0 {
+		t.Fatalf("PIEglobals used %d dlmopen namespaces, want 0", env.Linker.NamespacesInUse())
+	}
+	if len(res.Contexts) != 8 {
+		t.Fatal("missing contexts")
+	}
+}
+
+// TestPIPglobalsOneNamespacePerRank pins §3.1: PIPglobals performs one
+// dlmopen (fresh namespace) per virtual rank.
+func TestPIPglobalsOneNamespacePerRank(t *testing.T) {
+	env := testEnv(t, false)
+	img := testImage(t)
+	setup(t, KindPIPglobals, env, img, 5)
+	if got := env.Linker.NamespacesInUse(); got != 5 {
+		t.Fatalf("PIPglobals used %d namespaces for 5 ranks", got)
+	}
+	// Base object + 5 per-rank copies.
+	if got := len(env.Linker.Handles()); got != 6 {
+		t.Fatalf("PIPglobals holds %d linker objects, want 6", got)
+	}
+	// Every rank copy has its function-pointer shim populated
+	// (Fig. 4's AMPI_FuncPtr_Unpack); calling MPI through an
+	// unpopulated shim would crash the real system.
+	for _, h := range env.Linker.Handles() {
+		if h.Namespace != 0 && !h.ShimPopulated {
+			t.Fatalf("rank copy in namespace %d has an unpopulated shim", h.Namespace)
+		}
+	}
+}
+
+// TestFSglobalsFilesOnSharedFS pins §3.2: one binary copy per rank on
+// the shared filesystem, each opened exactly once.
+func TestFSglobalsFilesOnSharedFS(t *testing.T) {
+	env := testEnv(t, false)
+	img := testImage(t)
+	setup(t, KindFSglobals, env, img, 4)
+	if env.FS.Opens == 0 {
+		t.Fatal("FSglobals did not touch the shared filesystem")
+	}
+	if got := env.FS.TotalBytes(); got != 4*img.TotalSegmentBytes() {
+		t.Fatalf("shared FS holds %d bytes, want %d (4 binary copies)", got, 4*img.TotalSegmentBytes())
+	}
+	for vp := 0; vp < 4; vp++ {
+		path := "/scratch/fsglobals/app.vp" + string(rune('0'+vp))
+		if !env.FS.Exists(path) {
+			t.Errorf("missing per-rank binary copy %s", path)
+		}
+	}
+}
+
+// TestStartupCostOrdering pins Fig. 5's qualitative ordering at the
+// Setup level, independent of the ampi layer.
+func TestStartupCostOrdering(t *testing.T) {
+	img := testImage(t)
+	cost := func(kind Kind) int64 {
+		env := testEnv(t, false)
+		if kind == KindMPCPrivatize {
+			env.Toolchain.MPCPatched = true
+		}
+		res := setup(t, kind, env, img, 8)
+		return int64(res.Done)
+	}
+	base := cost(KindNone)
+	tls := cost(KindTLSglobals)
+	pip := cost(KindPIPglobals)
+	fs := cost(KindFSglobals)
+	pie := cost(KindPIEglobals)
+	if tls < base || pip < tls || pie < tls {
+		t.Errorf("ordering violated: base=%d tls=%d pip=%d pie=%d", base, tls, pip, pie)
+	}
+	if fs <= pip || fs <= pie {
+		t.Errorf("FSglobals (%d) must be the slowest (pip=%d pie=%d)", fs, pip, pie)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"provirt/internal/elf"
+	"provirt/internal/mem"
+	"provirt/internal/sim"
+)
+
+// dupResult carries one rank's duplicated PIE segments.
+type dupResult struct {
+	inst     *elf.Instance
+	codeAddr uint64
+	dataAddr uint64
+	// heapObjAddrs maps original ctor-heap-object addresses to this
+	// rank's replicated copies.
+	heapObjAddrs map[uint64]uint64
+}
+
+// duplicateInstance implements the PIEglobals copy: allocate the code
+// and data segments in the rank's Isomalloc heap, memcpy them, scan the
+// data copy for values that look like pointers into the original
+// segments (or into constructor heap allocations) and rebase them, and
+// replicate the constructor heap allocations themselves.
+//
+// The scan is the "contents that look like pointers" heuristic of §3.3:
+// a data word whose integer value happens to fall inside the original
+// segment ranges is rebased even if it was never a pointer — the false
+// positive hazard the authors plan to engineer away. The simulation
+// preserves that hazard deliberately (see TestPIEglobalsFalsePositive).
+func duplicateInstance(env *ProcessEnv, src *elf.Instance, heap *mem.Heap, opts PIEOptions) (*dupResult, sim.Time, error) {
+	img := src.Img
+	var cost sim.Time
+
+	codeBlk, err := heap.AllocBallast(img.CodeSize, "pie-code-segment")
+	if err != nil {
+		return nil, 0, err
+	}
+	dataBytes := uint64(len(src.Data)) * 8
+	dataBlk, err := heap.Alloc(dataBytes, "pie-data-segment")
+	if err != nil {
+		return nil, 0, err
+	}
+	if opts.ShareCodePages {
+		// §6 future work: the rank's code is a read-only mapping of
+		// one shared descriptor — page tables only, no copy, no
+		// resident footprint, no migration payload.
+		codeBlk.Shared = true
+		cost += env.Cost.CopyTime(dataBytes)
+	} else {
+		cost += env.Cost.CopyTime(img.CodeSize + dataBytes)
+	}
+	cost += env.Cost.PageMapTime(img.CodeSize + dataBytes)
+
+	dup := &dupResult{
+		codeAddr:     codeBlk.Addr,
+		dataAddr:     dataBlk.Addr,
+		heapObjAddrs: make(map[uint64]uint64),
+	}
+
+	// Replicate constructor heap allocations first so the data scan
+	// can redirect pointers to them.
+	var objs []*elf.HeapObj
+	for _, o := range src.HeapObjs {
+		blk, err := heap.Alloc(o.Size, "pie-ctor-alloc")
+		if err != nil {
+			return nil, 0, err
+		}
+		copy(blk.Words, o.Words)
+		cost += env.Cost.CopyTime(o.Size) + env.Cost.CtorReplayPerAlloc
+		dup.heapObjAddrs[o.Addr] = blk.Addr
+		objs = append(objs, &elf.HeapObj{Addr: blk.Addr, Size: o.Size, Words: blk.Words})
+	}
+
+	rebase := func(w uint64) uint64 {
+		switch {
+		case src.ContainsCode(w):
+			return dup.codeAddr + (w - src.CodeBase)
+		case src.ContainsData(w):
+			return dup.dataAddr + (w - src.DataBase)
+		default:
+			if na, ok := dup.heapObjAddrs[w]; ok {
+				return na
+			}
+			if obj := src.HeapObjAt(w); obj != nil {
+				return dup.heapObjAddrs[obj.Addr] + (w - obj.Addr)
+			}
+			return w
+		}
+	}
+
+	// Copy + scan the data segment (GOT entries live inside it and are
+	// rebased by the same pass).
+	copy(dataBlk.Words, src.Data)
+	for i, w := range dataBlk.Words {
+		dataBlk.Words[i] = rebase(w)
+	}
+	cost += sim.Time(len(dataBlk.Words)) * env.Cost.PointerScanPerWord
+
+	// Scan the replicated constructor heap objects for pointers into
+	// the original segments (vtables, cross-object pointers).
+	for _, o := range objs {
+		for i, w := range o.Words {
+			o.Words[i] = rebase(w)
+		}
+		cost += sim.Time(len(o.Words)) * env.Cost.PointerScanPerWord
+	}
+
+	dup.inst = &elf.Instance{
+		Img:        img,
+		Namespace:  src.Namespace,
+		CodeBase:   dup.codeAddr,
+		DataBase:   dup.dataAddr,
+		Data:       dataBlk.Words,
+		HeapObjs:   objs,
+		Migratable: true,
+	}
+	return dup, cost, nil
+}
+
+// rebindPrivateInstance reattaches a migrated PIEglobals context's
+// private instance to the restored heap blocks (same addresses, new
+// storage). Called after mem.Restore on the destination process.
+func rebindPrivateInstance(c *RankContext) error {
+	if c.pieDataAddr == 0 {
+		return nil
+	}
+	dataBlk := c.Heap.Lookup(c.pieDataAddr)
+	if dataBlk == nil {
+		return fmt.Errorf("core: rank %d: restored heap lost data segment block at %#x", c.VP, c.pieDataAddr)
+	}
+	codeBlk := c.Heap.Lookup(c.pieCodeAddr)
+	if codeBlk == nil {
+		return fmt.Errorf("core: rank %d: restored heap lost code segment block at %#x", c.VP, c.pieCodeAddr)
+	}
+	var objs []*elf.HeapObj
+	for _, na := range c.pieHeapObjAddrs {
+		blk := c.Heap.Lookup(na)
+		if blk == nil {
+			return fmt.Errorf("core: rank %d: restored heap lost ctor allocation at %#x", c.VP, na)
+		}
+		objs = append(objs, &elf.HeapObj{Addr: blk.Addr, Size: blk.Size, Words: blk.Words})
+	}
+	c.Private = &elf.Instance{
+		Img:        c.Img,
+		Namespace:  c.Private.Namespace,
+		CodeBase:   c.pieCodeAddr,
+		DataBase:   c.pieDataAddr,
+		Data:       dataBlk.Words,
+		HeapObjs:   objs,
+		Migratable: true,
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package elf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testImage(t *testing.T) *Image {
+	t.Helper()
+	img, err := NewBuilder("prog").
+		Global("g1", 10).
+		Static("s1", 20).
+		Const("c1", 30).
+		TaggedGlobal("t1", 40).
+		Func("main", 1024).
+		Func("helper", 512).
+		CodeBulk(1 << 20).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestBuilderBasics(t *testing.T) {
+	img := testImage(t)
+	if img.VarByName("g1").Class != ClassGlobal {
+		t.Error("g1 class wrong")
+	}
+	if img.VarByName("s1").Class != ClassStatic {
+		t.Error("s1 class wrong")
+	}
+	if !img.VarByName("t1").Tagged {
+		t.Error("t1 not tagged")
+	}
+	if img.VarByName("c1").Mutable() {
+		t.Error("const reported mutable")
+	}
+	if len(img.MutableVars()) != 3 {
+		t.Errorf("%d mutable vars, want 3", len(img.MutableVars()))
+	}
+	if len(img.TaggedVars()) != 1 {
+		t.Errorf("%d tagged vars, want 1", len(img.TaggedVars()))
+	}
+	if img.FuncByName("helper").Offset != 1024 {
+		t.Errorf("helper offset %d", img.FuncByName("helper").Offset)
+	}
+	if img.CodeSize != 1<<20 {
+		t.Errorf("code size %d", img.CodeSize)
+	}
+	if img.Language != "c" {
+		t.Errorf("default language %q", img.Language)
+	}
+}
+
+func TestBuilderRejectsDuplicates(t *testing.T) {
+	if _, err := NewBuilder("x").Global("a", 0).Static("a", 1).Build(); err == nil {
+		t.Fatal("duplicate variable accepted")
+	}
+	if _, err := NewBuilder("x").Func("f", 8).Func("f", 8).Build(); err == nil {
+		t.Fatal("duplicate function accepted")
+	}
+}
+
+func TestBuilderValidatesCtors(t *testing.T) {
+	_, err := NewBuilder("x").Global("g", 0).
+		Ctor(Ctor{Writes: []CtorWrite{ValueWrite("missing", 1)}}).Build()
+	if err == nil || !strings.Contains(err.Error(), "unknown variable") {
+		t.Fatalf("ctor write to unknown variable: %v", err)
+	}
+	_, err = NewBuilder("x").Global("g", 0).
+		Ctor(Ctor{Writes: []CtorWrite{FuncPtrWrite("g", "nofn")}}).Build()
+	if err == nil || !strings.Contains(err.Error(), "unknown function") {
+		t.Fatalf("ctor func-ptr to unknown function: %v", err)
+	}
+}
+
+func TestInstanceInitialization(t *testing.T) {
+	img := testImage(t)
+	in, err := NewInstance(img, 0x10000, 0x200000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Data[img.VarByName("g1").Index] != 10 {
+		t.Error("g1 init wrong")
+	}
+	if in.Data[img.VarByName("c1").Index] != 30 {
+		t.Error("c1 init wrong")
+	}
+	// GOT holds absolute addresses of external-linkage vars and funcs.
+	got, ok := in.GOTEntryForVar(img.VarByName("g1"))
+	if !ok || got != in.VarAddr(img.VarByName("g1")) {
+		t.Errorf("GOT entry for g1 = %#x, want %#x", got, in.VarAddr(img.VarByName("g1")))
+	}
+	if _, ok := in.GOTEntryForVar(img.VarByName("s1")); ok {
+		t.Error("static variable has a GOT entry")
+	}
+}
+
+func TestInstanceFuncAddressing(t *testing.T) {
+	img := testImage(t)
+	in, _ := NewInstance(img, 0x40000, 0x900000, 0)
+	main := img.FuncByName("main")
+	addr := in.FuncAddr(main)
+	if addr != 0x40000 {
+		t.Errorf("main at %#x", addr)
+	}
+	off, err := in.FuncOffset(addr + 100)
+	if err != nil || off != 100 {
+		t.Errorf("FuncOffset = %d, %v", off, err)
+	}
+	if _, err := in.FuncOffset(0x39999); err == nil {
+		t.Error("offset outside code accepted")
+	}
+	if f := in.FuncAt(addr + 1500); f == nil || f.Name != "helper" {
+		t.Errorf("FuncAt(helper body) = %v", f)
+	}
+	if f := in.FuncAt(in.CodeBase + 900000); f != nil {
+		t.Errorf("FuncAt(bulk) = %v, want nil", f)
+	}
+}
+
+func TestSetGOTEntry(t *testing.T) {
+	img := testImage(t)
+	in, _ := NewInstance(img, 0x40000, 0x900000, 0)
+	g1 := img.VarByName("g1")
+	if err := in.SetGOTEntryForVar(g1, 0xabcd000); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := in.GOTEntryForVar(g1)
+	if got != 0xabcd000 {
+		t.Errorf("GOT entry %#x after swap", got)
+	}
+	if err := in.SetGOTEntryForVar(img.VarByName("s1"), 1); err == nil {
+		t.Error("setting GOT entry for a static must fail")
+	}
+}
+
+func TestRunCtors(t *testing.T) {
+	img, err := NewBuilder("cpp").
+		Language("c++").
+		Global("obj_ptr", 0).
+		Global("vfn_ptr", 0).
+		Global("plain", 0).
+		Func("main", 256).
+		Func("virtual_method", 128).
+		Ctor(Ctor{
+			Allocs: []CtorAlloc{{Size: 64, FuncPtrSlots: []int{1}}},
+			Writes: []CtorWrite{
+				AllocPtrWrite("obj_ptr", 0),
+				FuncPtrWrite("vfn_ptr", "virtual_method"),
+				ValueWrite("plain", 77),
+			},
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := NewInstance(img, 0x100000, 0x700000, 0)
+	next := uint64(0x9000000)
+	n, err := in.RunCtors(func(size uint64) uint64 {
+		a := next
+		next += size
+		return a
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("%d ctor allocs", n)
+	}
+	objPtr := in.Data[img.VarByName("obj_ptr").Index]
+	if objPtr != 0x9000000 {
+		t.Errorf("obj_ptr = %#x", objPtr)
+	}
+	obj := in.HeapObjAt(objPtr)
+	if obj == nil {
+		t.Fatal("heap object not recorded")
+	}
+	// Slot 1 holds a pointer to some function in this instance's code.
+	if fp := obj.Words[1]; !in.ContainsCode(fp) {
+		t.Errorf("vtable slot %#x outside code", fp)
+	}
+	if in.Data[img.VarByName("vfn_ptr").Index] != in.FuncAddr(img.FuncByName("virtual_method")) {
+		t.Error("function-pointer write wrong")
+	}
+	if in.Data[img.VarByName("plain").Index] != 77 {
+		t.Error("plain write wrong")
+	}
+}
+
+func TestDataSegmentAccommodatesGOT(t *testing.T) {
+	// Even with no DataBulk, the instance's data array must hold all
+	// variable cells plus GOT slots.
+	img, _ := NewBuilder("tiny").Global("a", 1).Func("f", 8).Build()
+	in, err := NewInstance(img, 0x1000, 0x8000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Data) < 1+2 { // one var cell + var GOT + func GOT
+		t.Fatalf("data words %d too small", len(in.Data))
+	}
+}
+
+func TestContainsBoundaries(t *testing.T) {
+	img := testImage(t)
+	in, _ := NewInstance(img, 0x40000, 0x900000, 0)
+	if !in.ContainsCode(in.CodeBase) || in.ContainsCode(in.CodeBase+img.CodeSize) {
+		t.Error("code boundary wrong")
+	}
+	if !in.ContainsData(in.DataBase) || in.ContainsData(in.DataBase+img.DataSize) {
+		t.Error("data boundary wrong")
+	}
+}
+
+// Property: for any variable set, instance initialization puts every
+// declared init value at the declared index and GOT entries point at
+// the matching cells.
+func TestInstanceInitProperty(t *testing.T) {
+	f := func(inits []uint64) bool {
+		if len(inits) == 0 || len(inits) > 200 {
+			return true
+		}
+		b := NewBuilder("p")
+		for i, v := range inits {
+			switch i % 3 {
+			case 0:
+				b.Global(name(i), v)
+			case 1:
+				b.Static(name(i), v)
+			default:
+				b.Const(name(i), v)
+			}
+		}
+		img, err := b.Func("f", 64).Build()
+		if err != nil {
+			return false
+		}
+		in, err := NewInstance(img, 0x1000000, 0x2000000, 0)
+		if err != nil {
+			return false
+		}
+		for i, v := range inits {
+			va := img.VarByName(name(i))
+			if in.Data[va.Index] != v {
+				return false
+			}
+			if got, ok := in.GOTEntryForVar(va); ok && got != in.VarAddr(va) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func name(i int) string {
+	return "v" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+i/260))
+}

@@ -1,0 +1,235 @@
+package elf
+
+import "fmt"
+
+// HeapObj is a heap allocation made by a static constructor at load
+// time, owned by a particular instance of the image.
+type HeapObj struct {
+	Addr  uint64
+	Size  uint64
+	Words []uint64
+}
+
+// Instance is one loaded copy of an Image, mapped at concrete segment
+// base addresses with live storage. The data segment layout is:
+//
+//	word 0 .. nVars-1   variable cells (8 bytes each)
+//	word nVars ..       Global Offset Table entries
+//	remainder           .data/.bss bulk
+//
+// Keeping the GOT inside the data segment mirrors ELF (.got lives in the
+// data area) and is what makes PIEglobals' pointer scan find and rebase
+// GOT entries without special-casing them.
+type Instance struct {
+	Img *Image
+	// Namespace is the link-map namespace index the instance was loaded
+	// into (0 = base namespace; dlmopen copies get fresh ones).
+	Namespace int
+	CodeBase  uint64
+	DataBase  uint64
+	// Data holds the full data segment as 8-byte words.
+	Data []uint64
+	// HeapObjs are the static-constructor heap allocations belonging to
+	// this instance.
+	HeapObjs []*HeapObj
+	// Migratable reports whether the segments were allocated through
+	// Isomalloc (true only for PIEglobals copies).
+	Migratable bool
+}
+
+// gotBase returns the word index where the GOT begins.
+func (in *Instance) gotBase() int { return len(in.Img.Vars) }
+
+// gotSlots returns how many GOT entries the image has: one per
+// external-linkage variable plus one per function.
+func (in *Instance) gotSlots() int {
+	n := 0
+	for _, v := range in.Img.Vars {
+		if v.Class == ClassGlobal || v.Class == ClassConst {
+			n++
+		}
+	}
+	return n + len(in.Img.Funcs)
+}
+
+// gotIndexOfVar returns the GOT slot ordinal for an external-linkage
+// variable, or -1 for statics (which have no GOT entry — the Swapglobals
+// limitation).
+func (in *Instance) gotIndexOfVar(v *Var) int {
+	if v.Class == ClassStatic {
+		return -1
+	}
+	slot := 0
+	for _, w := range in.Img.Vars {
+		if w == v {
+			return slot
+		}
+		if w.Class == ClassGlobal || w.Class == ClassConst {
+			slot++
+		}
+	}
+	return -1
+}
+
+// gotIndexOfFunc returns the GOT slot ordinal for a function.
+func (in *Instance) gotIndexOfFunc(f *Func) int {
+	nvars := 0
+	for _, w := range in.Img.Vars {
+		if w.Class == ClassGlobal || w.Class == ClassConst {
+			nvars++
+		}
+	}
+	return nvars + f.Index
+}
+
+// NewInstance materializes an image at the given segment bases:
+// variable cells take their initializers, and the GOT is populated with
+// absolute addresses of this instance's cells and functions.
+//
+// Static constructors are NOT run here; the loader runs them (they
+// execute at dlopen time with side effects the caller must account for).
+func NewInstance(img *Image, codeBase, dataBase uint64, namespace int) (*Instance, error) {
+	words := img.DataWords()
+	need := len(img.Vars)
+	in := &Instance{Img: img, Namespace: namespace, CodeBase: codeBase, DataBase: dataBase}
+	need += in.gotSlots()
+	if words < need {
+		words = need
+	}
+	in.Data = make([]uint64, words)
+	for _, v := range img.Vars {
+		in.Data[v.Index] = v.Init
+	}
+	gb := in.gotBase()
+	for _, v := range img.Vars {
+		if slot := in.gotIndexOfVar(v); slot >= 0 {
+			in.Data[gb+slot] = in.VarAddr(v)
+		}
+	}
+	for _, f := range img.Funcs {
+		in.Data[gb+in.gotIndexOfFunc(f)] = in.FuncAddr(f)
+	}
+	if codeBase == dataBase {
+		return nil, fmt.Errorf("elf: code and data segments must not alias")
+	}
+	return in, nil
+}
+
+// VarAddr returns the absolute address of a variable's cell in this
+// instance.
+func (in *Instance) VarAddr(v *Var) uint64 { return in.DataBase + uint64(v.Index)*8 }
+
+// FuncAddr returns the absolute address of a function in this instance.
+func (in *Instance) FuncAddr(f *Func) uint64 { return in.CodeBase + f.Offset }
+
+// FuncOffset returns the code-segment-relative offset of an absolute
+// function address, or an error if the address is outside this
+// instance's code segment. This is the translation AMPI performs for
+// user-defined reduction operators under PIEglobals (§3.3).
+func (in *Instance) FuncOffset(addr uint64) (uint64, error) {
+	if addr < in.CodeBase || addr >= in.CodeBase+in.Img.CodeSize {
+		return 0, fmt.Errorf("elf: address %#x outside code segment [%#x,%#x)",
+			addr, in.CodeBase, in.CodeBase+in.Img.CodeSize)
+	}
+	return addr - in.CodeBase, nil
+}
+
+// FuncAt returns the function whose body spans the given absolute
+// address, or nil.
+func (in *Instance) FuncAt(addr uint64) *Func {
+	if addr < in.CodeBase || addr >= in.CodeBase+in.Img.CodeSize {
+		return nil
+	}
+	off := addr - in.CodeBase
+	for _, f := range in.Img.Funcs {
+		if off >= f.Offset && off < f.Offset+f.Size {
+			return f
+		}
+	}
+	return nil
+}
+
+// GOTEntryForVar returns the GOT slot contents for an external-linkage
+// variable. Statics return ok=false.
+func (in *Instance) GOTEntryForVar(v *Var) (addr uint64, ok bool) {
+	slot := in.gotIndexOfVar(v)
+	if slot < 0 {
+		return 0, false
+	}
+	return in.Data[in.gotBase()+slot], true
+}
+
+// SetGOTEntryForVar overwrites the GOT slot for an external-linkage
+// variable; Swapglobals uses this to point a rank's GOT at its private
+// copy of the variable.
+func (in *Instance) SetGOTEntryForVar(v *Var, addr uint64) error {
+	slot := in.gotIndexOfVar(v)
+	if slot < 0 {
+		return fmt.Errorf("elf: %s has no GOT entry (static variable)", v.Name)
+	}
+	in.Data[in.gotBase()+slot] = addr
+	return nil
+}
+
+// ContainsCode reports whether addr falls in this instance's code
+// segment.
+func (in *Instance) ContainsCode(addr uint64) bool {
+	return addr >= in.CodeBase && addr < in.CodeBase+in.Img.CodeSize
+}
+
+// ContainsData reports whether addr falls in this instance's data
+// segment.
+func (in *Instance) ContainsData(addr uint64) bool {
+	return addr >= in.DataBase && addr < in.DataBase+in.Img.DataSize
+}
+
+// HeapObjAt returns the ctor heap object containing addr, or nil.
+func (in *Instance) HeapObjAt(addr uint64) *HeapObj {
+	for _, h := range in.HeapObjs {
+		if addr >= h.Addr && addr < h.Addr+h.Size {
+			return h
+		}
+	}
+	return nil
+}
+
+// RunCtors executes the image's static constructors against this
+// instance: allocations come from alloc (which models malloc at load
+// time) and stores land in the data segment. It returns the number of
+// heap allocations performed.
+func (in *Instance) RunCtors(alloc func(size uint64) uint64) (int, error) {
+	count := 0
+	for _, c := range in.Img.Ctors {
+		objs := make([]*HeapObj, len(c.Allocs))
+		for i, a := range c.Allocs {
+			size := (a.Size + 7) &^ 7
+			addr := alloc(size)
+			obj := &HeapObj{Addr: addr, Size: size, Words: make([]uint64, size/8)}
+			for _, slot := range a.FuncPtrSlots {
+				if slot < 0 || slot >= len(obj.Words) {
+					return count, fmt.Errorf("elf: ctor func-ptr slot %d outside alloc of %d words", slot, len(obj.Words))
+				}
+				if len(in.Img.Funcs) == 0 {
+					return count, fmt.Errorf("elf: ctor func-ptr slot with no functions declared")
+				}
+				f := in.Img.Funcs[slot%len(in.Img.Funcs)]
+				obj.Words[slot] = in.FuncAddr(f)
+			}
+			objs[i] = obj
+			in.HeapObjs = append(in.HeapObjs, obj)
+			count++
+		}
+		for _, w := range c.Writes {
+			v := in.Img.VarByName(w.VarName)
+			switch {
+			case w.PointsToFunc != "":
+				in.Data[v.Index] = in.FuncAddr(in.Img.FuncByName(w.PointsToFunc))
+			case w.PointsToAlloc >= 0 && w.PointsToAlloc < len(objs):
+				in.Data[v.Index] = objs[w.PointsToAlloc].Addr
+			default:
+				in.Data[v.Index] = w.Value
+			}
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/lb"
+	"provirt/internal/sim"
+	"provirt/internal/trace"
+	"provirt/internal/workloads/adcirc"
+)
+
+// AdcircPoint is one (cores, ratio) measurement of the ADCIRC strong-
+// scaling study.
+type AdcircPoint struct {
+	Cores int
+	Ratio int // virtualization ratio (VPs per core); 0 marks baseline
+	LB    bool
+	Time  sim.Time
+}
+
+// AdcircRow is one core count's summary: the baseline and the best
+// virtualized+balanced result (Table 2's "speedup of best performing
+// virtualization ratio").
+type AdcircRow struct {
+	Cores     int
+	Baseline  sim.Time
+	Best      sim.Time
+	BestRatio int
+	// SpeedupPct is (Baseline/Best - 1) * 100.
+	SpeedupPct float64
+	Points     []AdcircPoint
+}
+
+// Table2Cores are the measured core counts.
+func Table2Cores() []int { return []int{1, 2, 4, 8, 16, 32, 64} }
+
+// AdcircRatios are the virtualization ratios swept per core count.
+func AdcircRatios() []int { return []int{2, 4, 8} }
+
+// runAdcirc executes one configuration and returns execution time.
+func runAdcirc(cfg adcirc.Config, cores, vps int, balancer lb.Strategy) (sim.Time, error) {
+	acfg := cfg
+	if balancer == nil {
+		acfg.LBPeriod = 0
+	}
+	wcfg := ampi.Config{
+		Machine:   machineShape(1, 1, cores),
+		VPs:       vps,
+		Privatize: core.KindPIEglobals,
+		Balancer:  balancer,
+	}
+	w, err := runWorld(wcfg, adcirc.New(acfg, nil))
+	if err != nil {
+		return 0, err
+	}
+	return w.ExecutionTime(), nil
+}
+
+// AdcircScaling runs the full strong-scaling study of §4.6: for each
+// core count, an unvirtualized/unbalanced baseline plus each
+// virtualization ratio with GreedyRefineLB. It reproduces Table 2 (best
+// speedup per core count) and Fig. 9 (the full time series).
+func AdcircScaling(cfg adcirc.Config, cores []int) ([]AdcircRow, *trace.Table, *trace.Table, error) {
+	if cores == nil {
+		cores = Table2Cores()
+	}
+	var rows []AdcircRow
+	for _, c := range cores {
+		base, err := runAdcirc(cfg, c, c, nil)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("adcirc baseline cores=%d: %w", c, err)
+		}
+		row := AdcircRow{Cores: c, Baseline: base, Best: base, BestRatio: 1}
+		row.Points = append(row.Points, AdcircPoint{Cores: c, Ratio: 1, LB: false, Time: base})
+		for _, ratio := range AdcircRatios() {
+			tt, err := runAdcirc(cfg, c, c*ratio, lb.GreedyRefineLB{})
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("adcirc cores=%d ratio=%d: %w", c, ratio, err)
+			}
+			row.Points = append(row.Points, AdcircPoint{Cores: c, Ratio: ratio, LB: true, Time: tt})
+			if tt < row.Best {
+				row.Best = tt
+				row.BestRatio = ratio
+			}
+		}
+		row.SpeedupPct = (float64(row.Baseline)/float64(row.Best) - 1) * 100
+		rows = append(rows, row)
+	}
+
+	t2 := trace.NewTable("Table 2: ADCIRC speedup of best virtualization ratio over baseline",
+		"Cores", "Baseline", "Best", "Best ratio", "Speedup %")
+	for _, r := range rows {
+		t2.AddRow(fmt.Sprint(r.Cores),
+			trace.FormatDuration(r.Baseline),
+			trace.FormatDuration(r.Best),
+			fmt.Sprintf("%dx", r.BestRatio),
+			fmt.Sprintf("%.0f", r.SpeedupPct))
+	}
+
+	f9 := trace.NewTable("Figure 9: ADCIRC strong scaling, virtualization x load balancing (lower is better)",
+		"Cores", "ratio 1 (no LB)", "ratio 2 + LB", "ratio 4 + LB", "ratio 8 + LB")
+	for _, r := range rows {
+		cells := []string{fmt.Sprint(r.Cores)}
+		for _, p := range r.Points {
+			cells = append(cells, trace.FormatDuration(p.Time))
+		}
+		f9.AddRow(cells...)
+	}
+	return rows, t2, f9, nil
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/sim"
+	"provirt/internal/trace"
+	"provirt/internal/workloads/synth"
+)
+
+// Fig5Row is one bar of Fig. 5: startup/initialization time for one
+// privatization method at 8x virtualization.
+type Fig5Row struct {
+	Method core.Kind
+	// Startup is the job's initialization time (slowest process).
+	Startup sim.Time
+	// VsBaseline is Startup / baseline Startup.
+	VsBaseline float64
+}
+
+// Fig5Startup measures AMPI initialization time for each method with 8
+// virtual ranks per process (Fig. 5). nodes controls scale; the
+// dlmopen/PIE methods cost constant per process while FSglobals
+// degrades with node count due to shared-filesystem contention.
+func Fig5Startup(nodes int) ([]Fig5Row, *trace.Table, error) {
+	if nodes <= 0 {
+		nodes = 1
+	}
+	var rows []Fig5Row
+	var baseline sim.Time
+	for _, kind := range Fig5Methods() {
+		tc, osEnv := envFor(kind, 8)
+		cfg := ampi.Config{
+			Machine:   machineShape(nodes, 1, 1),
+			VPs:       nodes * 8, // 8x virtualization per process
+			Privatize: kind,
+			Toolchain: tc,
+			OS:        osEnv,
+		}
+		w, err := runWorld(cfg, synth.Empty())
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig5 %s: %w", kind, err)
+		}
+		row := Fig5Row{Method: kind, Startup: w.SetupDone}
+		if kind == core.KindNone {
+			baseline = w.SetupDone
+		}
+		if baseline > 0 {
+			row.VsBaseline = float64(row.Startup) / float64(baseline)
+		}
+		rows = append(rows, row)
+	}
+	t := trace.NewTable(
+		fmt.Sprintf("Figure 5: startup overhead, 8x virtualization, %d node(s) (lower is better)", nodes),
+		"Method", "Startup", "vs baseline")
+	for _, r := range rows {
+		t.AddRow(r.Method.String(), trace.FormatDuration(r.Startup), pct(r.VsBaseline))
+	}
+	return rows, t, nil
+}
+
+// Fig5Scaling shows how each method's startup responds to node count:
+// §4.1's observation that "with the exception of FSglobals, which
+// relies on a shared file system, the cost is constant per-process and
+// does not increase with node counts".
+func Fig5Scaling(nodeCounts []int) (*trace.Table, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{1, 2, 4, 8}
+	}
+	methods := Fig5Methods()
+	headers := []string{"Method"}
+	for _, n := range nodeCounts {
+		headers = append(headers, fmt.Sprintf("%d node(s)", n))
+	}
+	t := trace.NewTable("Figure 5 (scaling): startup vs node count, 8x virtualization", headers...)
+	cells := make(map[core.Kind][]string, len(methods))
+	for _, n := range nodeCounts {
+		rows, _, err := Fig5Startup(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			cells[r.Method] = append(cells[r.Method], trace.FormatDuration(r.Startup))
+		}
+	}
+	for _, m := range methods {
+		t.AddRow(append([]string{m.String()}, cells[m]...)...)
+	}
+	return t, nil
+}

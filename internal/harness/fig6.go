@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/sim"
+	"provirt/internal/trace"
+	"provirt/internal/workloads/synth"
+)
+
+// Fig6Row is one bar of Fig. 6: mean user-level thread context-switch
+// time under one privatization method.
+type Fig6Row struct {
+	Method   core.Kind
+	Switches uint64
+	// PerSwitch is the mean time per ULT context switch, including
+	// scheduling.
+	PerSwitch sim.Time
+	// OverBaseline is PerSwitch minus the no-privatization mean.
+	OverBaseline sim.Time
+}
+
+// Fig6Methods are the methods the context-switch microbenchmark
+// compares.
+func Fig6Methods() []core.Kind {
+	return []core.Kind{
+		core.KindNone, core.KindSwapglobals, core.KindTLSglobals,
+		core.KindPIPglobals, core.KindFSglobals, core.KindPIEglobals,
+	}
+}
+
+// Fig6ContextSwitch runs the two-ULT ping microbenchmark (100,000
+// switches) for each method and reports mean switch time (Fig. 6).
+func Fig6ContextSwitch() ([]Fig6Row, *trace.Table, error) {
+	var rows []Fig6Row
+	var baseline sim.Time
+	for _, kind := range Fig6Methods() {
+		tc, osEnv := envFor(kind, 2)
+		cfg := ampi.Config{
+			Machine:   machineShape(1, 1, 1),
+			VPs:       2,
+			Privatize: kind,
+			Toolchain: tc,
+			OS:        osEnv,
+		}
+		w, err := runWorld(cfg, synth.Ping())
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig6 %s: %w", kind, err)
+		}
+		s := w.Scheds()[0]
+		if s.Switches() == 0 {
+			return nil, nil, fmt.Errorf("fig6 %s: no context switches recorded", kind)
+		}
+		per := s.SwitchTime() / sim.Time(s.Switches())
+		row := Fig6Row{Method: kind, Switches: s.Switches(), PerSwitch: per}
+		if kind == core.KindNone {
+			baseline = per
+		}
+		row.OverBaseline = per - baseline
+		rows = append(rows, row)
+	}
+	t := trace.NewTable("Figure 6: ULT context switch time (lower is better)",
+		"Method", "Switches", "ns/switch", "over baseline")
+	for _, r := range rows {
+		t.AddRow(r.Method.String(),
+			fmt.Sprint(r.Switches),
+			fmt.Sprintf("%d", r.PerSwitch.Nanoseconds()),
+			fmt.Sprintf("+%dns", r.OverBaseline.Nanoseconds()))
+	}
+	return rows, t, nil
+}

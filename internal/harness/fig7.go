@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/sim"
+	"provirt/internal/trace"
+	"provirt/internal/workloads/jacobi"
+)
+
+// Fig7Row is one bar of Fig. 7: Jacobi-3D execution time with all
+// inner-loop variables privatized under one method.
+type Fig7Row struct {
+	Method core.Kind
+	Time   sim.Time
+	// VsBaseline is Time / unprivatized time.
+	VsBaseline float64
+}
+
+// Fig7Methods are the methods compared in the privatized-variable-
+// access experiment.
+func Fig7Methods() []core.Kind {
+	return []core.Kind{
+		core.KindNone, core.KindTLSglobals, core.KindPIPglobals,
+		core.KindFSglobals, core.KindPIEglobals,
+	}
+}
+
+// Fig7JacobiAccess runs Jacobi-3D with every inner-loop variable
+// privatized and compares execution time across methods (Fig. 7). One
+// rank per PE isolates access cost from scheduling effects, matching
+// the paper's experimental intent.
+func Fig7JacobiAccess() ([]Fig7Row, *trace.Table, error) {
+	cfg := jacobi.Config{NX: 32, NY: 32, NZ: 32, Iters: 20, AccessesPerCell: 6, FlopsPerCell: 8}
+	var rows []Fig7Row
+	var baseline sim.Time
+	for _, kind := range Fig7Methods() {
+		tc, osEnv := envFor(kind, 1)
+		wcfg := ampi.Config{
+			Machine:   machineShape(1, 1, 4),
+			VPs:       4,
+			Privatize: kind,
+			Toolchain: tc,
+			OS:        osEnv,
+		}
+		w, err := runWorld(wcfg, jacobi.New(cfg, nil))
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig7 %s: %w", kind, err)
+		}
+		row := Fig7Row{Method: kind, Time: w.ExecutionTime()}
+		if kind == core.KindNone {
+			baseline = row.Time
+		}
+		if baseline > 0 {
+			row.VsBaseline = float64(row.Time) / float64(baseline)
+		}
+		rows = append(rows, row)
+	}
+	t := trace.NewTable("Figure 7: Jacobi-3D execution time, privatized inner-loop variables (lower is better)",
+		"Method", "Execution time", "vs baseline")
+	for _, r := range rows {
+		t.AddRow(r.Method.String(), trace.FormatDuration(r.Time), pct(r.VsBaseline))
+	}
+	return rows, t, nil
+}

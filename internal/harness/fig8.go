@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/lb"
+	"provirt/internal/sim"
+	"provirt/internal/trace"
+	"provirt/internal/workloads/adcirc"
+)
+
+// Fig8Row is one point of Fig. 8: time to migrate one virtual rank
+// with the given heap size, under TLSglobals vs PIEglobals.
+type Fig8Row struct {
+	HeapBytes uint64
+	TLSTime   sim.Time
+	PIETime   sim.Time
+	TLSBytes  uint64
+	PIEBytes  uint64
+}
+
+// Fig8HeapSizes are the swept per-rank heap sizes (the paper sweeps
+// 1 MB to 100 MB).
+func Fig8HeapSizes() []uint64 {
+	return []uint64{1 << 20, 4 << 20, 16 << 20, 64 << 20, 100 << 20}
+}
+
+// Fig8Migration measures single-rank migration time across node
+// boundaries as heap size grows, comparing TLSglobals (rank state only)
+// with PIEglobals (rank state plus the ADCIRC-sized 14 MB code segment
+// and data segment), reproducing Fig. 8.
+func Fig8Migration() ([]Fig8Row, *trace.Table, error) {
+	measure := func(kind core.Kind, heap uint64) (sim.Time, uint64, error) {
+		prog := &ampi.Program{
+			Image: adcirc.Image(),
+			Main: func(r *ampi.Rank) {
+				if _, err := r.Ctx().Heap.AllocBallast(heap, "user-heap"); err != nil {
+					panic(err)
+				}
+				r.Migrate()
+			},
+		}
+		tc, osEnv := envFor(kind, 1)
+		cfg := ampi.Config{
+			Machine:   machineShape(2, 1, 1),
+			VPs:       1,
+			Privatize: kind,
+			Toolchain: tc,
+			OS:        osEnv,
+			Balancer:  lb.RotateLB{},
+		}
+		w, err := runWorld(cfg, prog)
+		if err != nil {
+			return 0, 0, err
+		}
+		recs := w.LastMigrations()
+		if len(recs) != 1 {
+			return 0, 0, fmt.Errorf("%d migrations recorded, want 1", len(recs))
+		}
+		return recs[0].Duration, recs[0].Bytes, nil
+	}
+
+	var rows []Fig8Row
+	for _, heap := range Fig8HeapSizes() {
+		tlsT, tlsB, err := measure(core.KindTLSglobals, heap)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig8 tlsglobals heap=%d: %w", heap, err)
+		}
+		pieT, pieB, err := measure(core.KindPIEglobals, heap)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fig8 pieglobals heap=%d: %w", heap, err)
+		}
+		rows = append(rows, Fig8Row{HeapBytes: heap, TLSTime: tlsT, PIETime: pieT, TLSBytes: tlsB, PIEBytes: pieB})
+	}
+	t := trace.NewTable("Figure 8: migration time vs per-rank heap size (lower is better)",
+		"Heap", "TLSglobals", "PIEglobals", "PIE/TLS", "PIE extra bytes")
+	for _, r := range rows {
+		t.AddRow(trace.FormatBytes(int64(r.HeapBytes)),
+			trace.FormatDuration(r.TLSTime),
+			trace.FormatDuration(r.PIETime),
+			fmt.Sprintf("%.2fx", float64(r.PIETime)/float64(r.TLSTime)),
+			trace.FormatBytes(int64(r.PIEBytes-r.TLSBytes)))
+	}
+	return rows, t, nil
+}

@@ -1,0 +1,86 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§4) from the simulation. Each experiment returns both
+// structured rows (asserted by tests and benchmarks) and a formatted
+// table (printed by cmd/privbench).
+package harness
+
+import (
+	"fmt"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/machine"
+	"provirt/internal/trace"
+)
+
+// Fig5Methods are the privatization methods the startup experiment
+// compares (baseline plus AMPI's existing TLSglobals plus the paper's
+// three new runtime methods).
+func Fig5Methods() []core.Kind {
+	return []core.Kind{
+		core.KindNone, core.KindTLSglobals, core.KindPIPglobals,
+		core.KindFSglobals, core.KindPIEglobals,
+	}
+}
+
+// Table1 renders the feature matrix of pre-existing privatization
+// methods (paper Table 1).
+func Table1() *trace.Table {
+	t := trace.NewTable("Table 1: existing privatization methods",
+		"Method", "Automation", "Portability", "SMP Mode Support", "Migration Support")
+	for _, k := range core.Table1Order() {
+		c := core.CapabilitiesOf(k)
+		t.AddRow(c.DisplayName, c.Automation, c.Portability, c.SMPSupport, c.MigrationSupport)
+	}
+	return t
+}
+
+// Table3 renders the full feature matrix including the three novel
+// runtime methods (paper Table 3).
+func Table3() *trace.Table {
+	t := trace.NewTable("Table 3: privatization methods including the three novel runtime methods",
+		"Method", "Automation", "Portability", "SMP Mode Support", "Migration Support")
+	for _, k := range core.Table3Order() {
+		c := core.CapabilitiesOf(k)
+		t.AddRow(c.DisplayName, c.Automation, c.Portability, c.SMPSupport, c.MigrationSupport)
+	}
+	return t
+}
+
+// runWorld builds and runs a world, returning it; errors are returned
+// for the caller to decide (some experiments expect failures).
+func runWorld(cfg ampi.Config, prog *ampi.Program) (*ampi.World, error) {
+	w, err := ampi.NewWorld(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Run(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// envFor returns the Bridges-2-like environment adjusted so the given
+// method can run (e.g. PIPglobals at high virtualization gets the
+// patched glibc, as the paper's experiments did).
+func envFor(kind core.Kind, vpsPerProc int) (core.Toolchain, core.OS) {
+	tc, osEnv := core.Bridges2Env()
+	if kind == core.KindPIPglobals && vpsPerProc > 12 {
+		osEnv.PatchedGlibc = true
+	}
+	if kind == core.KindSwapglobals {
+		osEnv.OldOrPatchedLinker = true
+	}
+	if kind == core.KindMPCPrivatize {
+		tc.MPCPatched = true
+	}
+	return tc, osEnv
+}
+
+// machineShape is a convenience constructor.
+func machineShape(nodes, procs, pes int) machine.Config {
+	return machine.Config{Nodes: nodes, ProcsPerNode: procs, PEsPerProc: pes}
+}
+
+// pct formats a ratio as a percentage string.
+func pct(x float64) string { return fmt.Sprintf("%+.1f%%", (x-1)*100) }

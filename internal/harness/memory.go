@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/trace"
+	"provirt/internal/workloads/adcirc"
+)
+
+// MemoryRow is one method's per-rank memory overhead for privatized
+// state (beyond the application's own heap), using the ADCIRC-sized
+// image. This quantifies the "code bloat issue of memory usage in
+// PIEglobals" that §6's future work targets.
+type MemoryRow struct {
+	Method string
+	// PerRankBytes is the privatization storage materialized per
+	// virtual rank (segment copies, TLS blocks, private cells),
+	// excluding the 1 MiB ULT stack every rank owns regardless.
+	PerRankBytes uint64
+}
+
+// MemoryFootprint measures per-rank privatization memory for each
+// runtime method plus PIEglobals with §6's shared-code-pages
+// optimization.
+func MemoryFootprint() ([]MemoryRow, *trace.Table, error) {
+	img := adcirc.Image()
+	type variant struct {
+		name   string
+		method core.Method
+	}
+	variants := []variant{
+		{"tlsglobals", core.New(core.KindTLSglobals)},
+		{"pipglobals", core.New(core.KindPIPglobals)},
+		{"fsglobals", core.New(core.KindFSglobals)},
+		{"pieglobals", core.New(core.KindPIEglobals)},
+		{"pieglobals+sharedcode", core.NewPIEglobals(core.PIEOptions{ShareCodePages: true})},
+	}
+	var rows []MemoryRow
+	for _, v := range variants {
+		prog := &ampi.Program{Image: img, Main: func(r *ampi.Rank) {}}
+		w, err := runWorld(ampi.Config{
+			Machine: machineShape(1, 1, 1),
+			VPs:     1,
+			Method:  v.method,
+		}, prog)
+		if err != nil {
+			return nil, nil, fmt.Errorf("memory %s: %w", v.name, err)
+		}
+		ctx := w.Ranks[0].Ctx()
+		var bytes uint64
+		// Heap-resident privatization state (PIE segment copies,
+		// swap/manual cells) minus the stack ballast.
+		bytes += ctx.Heap.ResidentBytes() - ctx.Stack.Size
+		// TLS block.
+		bytes += uint64(len(ctx.TLS)) * 8
+		// Linker-held per-rank copies (PIP namespaces, FS copies).
+		for _, h := range w.EnvFor(w.Ranks[0].PE()).Linker.Handles() {
+			if h.Namespace != 0 || h.Path != img.Name {
+				bytes += h.Inst.Img.TotalSegmentBytes()
+			}
+		}
+		rows = append(rows, MemoryRow{Method: v.name, PerRankBytes: bytes})
+	}
+	t := trace.NewTable("Memory: per-rank privatization footprint, ADCIRC-sized image (16 MiB segments)",
+		"Method", "Per-rank bytes")
+	for _, r := range rows {
+		t.AddRow(r.Method, trace.FormatBytes(int64(r.PerRankBytes)))
+	}
+	return rows, t, nil
+}

@@ -1,0 +1,426 @@
+// Package lb implements dynamic load balancing strategies in the style
+// of Charm++'s centralized balancers, including the GreedyRefineLB
+// strategy the paper uses for ADCIRC (§4.6).
+//
+// A strategy sees only measured per-rank loads and the current
+// rank-to-PE mapping; it returns a new mapping. Executing the decision
+// (serializing and moving rank state) is the runtime's job, so the
+// rebalancing logic stays separate from application logic, as §2.1
+// emphasizes.
+package lb
+
+import (
+	"fmt"
+	"sort"
+
+	"provirt/internal/sim"
+)
+
+// RankLoad is one rank's measured load since the previous balancing
+// step.
+type RankLoad struct {
+	VP   int
+	PE   int
+	Load sim.Time
+	// Migratable reports whether the runtime can move this rank; a
+	// strategy must keep non-migratable ranks in place.
+	Migratable bool
+}
+
+// Strategy decides a new rank-to-PE mapping.
+type Strategy interface {
+	Name() string
+	// Rebalance returns the destination PE for each rank, indexed as
+	// loads is. Implementations must return len(loads) entries within
+	// [0, numPEs).
+	Rebalance(loads []RankLoad, numPEs int) []int
+}
+
+// PELoads aggregates rank loads by PE.
+func PELoads(loads []RankLoad, numPEs int) []sim.Time {
+	out := make([]sim.Time, numPEs)
+	for _, l := range loads {
+		out[l.PE] += l.Load
+	}
+	return out
+}
+
+// Imbalance returns max/mean PE load (1.0 = perfectly balanced). An
+// empty or zero-load input returns 1.
+func Imbalance(loads []RankLoad, numPEs int) float64 {
+	pe := PELoads(loads, numPEs)
+	var total, max sim.Time
+	for _, l := range pe {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(numPEs)
+	return float64(max) / mean
+}
+
+// Validate checks a strategy result against the invariants every
+// balancer must preserve.
+func Validate(loads []RankLoad, numPEs int, assign []int) error {
+	if len(assign) != len(loads) {
+		return fmt.Errorf("lb: assignment has %d entries for %d ranks", len(assign), len(loads))
+	}
+	for i, pe := range assign {
+		if pe < 0 || pe >= numPEs {
+			return fmt.Errorf("lb: rank %d assigned to PE %d of %d", loads[i].VP, pe, numPEs)
+		}
+		if !loads[i].Migratable && pe != loads[i].PE {
+			return fmt.Errorf("lb: non-migratable rank %d moved from PE %d to %d", loads[i].VP, loads[i].PE, pe)
+		}
+	}
+	return nil
+}
+
+// Trigger decides whether a balancing opportunity (an AMPI_Migrate
+// collective) is worth acting on. Migration is expensive — under
+// PIEglobals each moved rank carries its code segment — so adaptive
+// runtimes skip rebalancing while the system is already balanced.
+type Trigger interface {
+	// ShouldBalance reports whether to run the strategy now.
+	ShouldBalance(loads []RankLoad, numPEs int) bool
+}
+
+// AlwaysTrigger rebalances at every opportunity (the default).
+type AlwaysTrigger struct{}
+
+// ShouldBalance implements Trigger.
+func (AlwaysTrigger) ShouldBalance([]RankLoad, int) bool { return true }
+
+// ImbalanceTrigger rebalances only when max/mean PE load exceeds a
+// threshold, in the spirit of Charm++'s adaptive MetaLB.
+type ImbalanceTrigger struct {
+	// Threshold is the max/mean ratio above which balancing runs
+	// (default 1.1).
+	Threshold float64
+}
+
+// ShouldBalance implements Trigger.
+func (g ImbalanceTrigger) ShouldBalance(loads []RankLoad, numPEs int) bool {
+	th := g.Threshold
+	if th <= 0 {
+		th = 1.1
+	}
+	return Imbalance(loads, numPEs) > th
+}
+
+// GreedyLB sorts ranks by decreasing load and assigns each to the
+// currently least-loaded PE. It produces near-optimal balance but
+// ignores current placement, so it migrates aggressively.
+type GreedyLB struct{}
+
+// Name implements Strategy.
+func (GreedyLB) Name() string { return "GreedyLB" }
+
+// Rebalance implements Strategy.
+func (GreedyLB) Rebalance(loads []RankLoad, numPEs int) []int {
+	assign := make([]int, len(loads))
+	peLoad := make([]sim.Time, numPEs)
+	order := make([]int, len(loads))
+	for i := range order {
+		order[i] = i
+	}
+	// Pin non-migratable ranks first.
+	for i, l := range loads {
+		if !l.Migratable {
+			assign[i] = l.PE
+			peLoad[l.PE] += l.Load
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return loads[order[a]].Load > loads[order[b]].Load })
+	for _, i := range order {
+		if !loads[i].Migratable {
+			continue
+		}
+		best := 0
+		for pe := 1; pe < numPEs; pe++ {
+			if peLoad[pe] < peLoad[best] {
+				best = pe
+			}
+		}
+		assign[i] = best
+		peLoad[best] += loads[i].Load
+	}
+	return assign
+}
+
+// GreedyRefineLB improves balance while minimizing migrations: only
+// PEs loaded above a tolerance over the mean donate ranks, and they
+// donate their smallest ranks first to the least-loaded PEs. This is
+// the strategy the paper's ADCIRC runs use.
+type GreedyRefineLB struct {
+	// Tolerance is the allowed overload ratio over the mean before a
+	// PE must donate (default 1.05).
+	Tolerance float64
+}
+
+// Name implements Strategy.
+func (GreedyRefineLB) Name() string { return "GreedyRefineLB" }
+
+// Rebalance implements Strategy.
+func (g GreedyRefineLB) Rebalance(loads []RankLoad, numPEs int) []int {
+	tol := g.Tolerance
+	if tol <= 0 {
+		tol = 1.05
+	}
+	assign := make([]int, len(loads))
+	peLoad := make([]sim.Time, numPEs)
+	byPE := make([][]int, numPEs)
+	var total sim.Time
+	for i, l := range loads {
+		assign[i] = l.PE
+		peLoad[l.PE] += l.Load
+		byPE[l.PE] = append(byPE[l.PE], i)
+		total += l.Load
+	}
+	if total == 0 || numPEs <= 1 {
+		return assign
+	}
+	threshold := sim.Time(float64(total) / float64(numPEs) * tol)
+
+	// Donate smallest ranks from overloaded PEs to the least-loaded PE
+	// until every PE fits under the threshold or no move helps.
+	for pe := 0; pe < numPEs; pe++ {
+		// Sort this PE's ranks by increasing load so we donate the
+		// cheapest state first (fewest bytes moved per unit of balance
+		// gained).
+		ids := byPE[pe]
+		sort.SliceStable(ids, func(a, b int) bool { return loads[ids[a]].Load < loads[ids[b]].Load })
+		for peLoad[pe] > threshold {
+			moved := false
+			for _, i := range ids {
+				if assign[i] != pe || !loads[i].Migratable || loads[i].Load == 0 {
+					continue
+				}
+				// Least-loaded destination.
+				dest := 0
+				for q := 1; q < numPEs; q++ {
+					if peLoad[q] < peLoad[dest] {
+						dest = q
+					}
+				}
+				if dest == pe || peLoad[dest]+loads[i].Load >= peLoad[pe] {
+					break
+				}
+				assign[i] = dest
+				peLoad[pe] -= loads[i].Load
+				peLoad[dest] += loads[i].Load
+				moved = true
+				break
+			}
+			if !moved {
+				break
+			}
+		}
+	}
+	return assign
+}
+
+// RotateLB moves every migratable rank to the next PE; useful for
+// exercising migration machinery deterministically in tests.
+type RotateLB struct{}
+
+// Name implements Strategy.
+func (RotateLB) Name() string { return "RotateLB" }
+
+// Rebalance implements Strategy.
+func (RotateLB) Rebalance(loads []RankLoad, numPEs int) []int {
+	assign := make([]int, len(loads))
+	for i, l := range loads {
+		if l.Migratable {
+			assign[i] = (l.PE + 1) % numPEs
+		} else {
+			assign[i] = l.PE
+		}
+	}
+	return assign
+}
+
+// HierarchicalLB balances in two levels, the way Charm++'s hybrid
+// balancers scale to large machines: first ranks move between *nodes*
+// only as needed to equalize node totals (each inter-node move pays
+// network transfer for the whole rank payload — expensive under
+// PIEglobals), then each node refines locally across its own PEs
+// (cheap shared-memory moves).
+type HierarchicalLB struct {
+	// PEsPerNode groups PE ids into nodes: PEs [k*G, (k+1)*G) form
+	// node k.
+	PEsPerNode int
+	// Tolerance is the allowed overload ratio at both levels
+	// (default 1.05).
+	Tolerance float64
+}
+
+// Name implements Strategy.
+func (HierarchicalLB) Name() string { return "HierarchicalLB" }
+
+// Rebalance implements Strategy.
+func (h HierarchicalLB) Rebalance(loads []RankLoad, numPEs int) []int {
+	g := h.PEsPerNode
+	if g <= 0 || g > numPEs {
+		g = numPEs
+	}
+	tol := h.Tolerance
+	if tol <= 0 {
+		tol = 1.05
+	}
+	numNodes := (numPEs + g - 1) / g
+	nodeOf := func(pe int) int { return pe / g }
+
+	// Level 1: balance across nodes. Project ranks onto nodes and run
+	// the refine donation at node granularity.
+	nodeLoads := make([]RankLoad, len(loads))
+	for i, l := range loads {
+		nodeLoads[i] = RankLoad{VP: l.VP, PE: nodeOf(l.PE), Load: l.Load, Migratable: l.Migratable}
+	}
+	nodeAssign := GreedyRefineLB{Tolerance: tol}.Rebalance(nodeLoads, numNodes)
+
+	// Materialize node decisions as PE assignments: a rank that stays
+	// on its node keeps its PE; a mover lands on its new node's
+	// least-loaded PE (refined below anyway).
+	assign := make([]int, len(loads))
+	peLoad := make([]sim.Time, numPEs)
+	for i, l := range loads {
+		if nodeAssign[i] == nodeOf(l.PE) {
+			assign[i] = l.PE
+			peLoad[l.PE] += l.Load
+		} else {
+			assign[i] = -1
+		}
+	}
+	for i, l := range loads {
+		if assign[i] >= 0 {
+			continue
+		}
+		lo := nodeAssign[i] * g
+		hi := lo + g
+		if hi > numPEs {
+			hi = numPEs
+		}
+		best := lo
+		for pe := lo + 1; pe < hi; pe++ {
+			if peLoad[pe] < peLoad[best] {
+				best = pe
+			}
+		}
+		assign[i] = best
+		peLoad[best] += l.Load
+	}
+
+	// Level 2: refine within each node.
+	for n := 0; n < numNodes; n++ {
+		lo := n * g
+		hi := lo + g
+		if hi > numPEs {
+			hi = numPEs
+		}
+		var idx []int
+		var local []RankLoad
+		for i := range loads {
+			if assign[i] >= lo && assign[i] < hi {
+				idx = append(idx, i)
+				local = append(local, RankLoad{
+					VP: loads[i].VP, PE: assign[i] - lo,
+					Load: loads[i].Load, Migratable: loads[i].Migratable,
+				})
+			}
+		}
+		sub := GreedyRefineLB{Tolerance: tol}.Rebalance(local, hi-lo)
+		for j, i := range idx {
+			assign[i] = lo + sub[j]
+		}
+	}
+	return assign
+}
+
+// CrossNodeMoves counts assignments that change a rank's node — the
+// expensive moves a topology-aware balancer minimizes.
+func CrossNodeMoves(loads []RankLoad, assign []int, pesPerNode int) int {
+	if pesPerNode <= 0 {
+		return 0
+	}
+	n := 0
+	for i, l := range loads {
+		if l.PE/pesPerNode != assign[i]/pesPerNode {
+			n++
+		}
+	}
+	return n
+}
+
+// EvacuateLB empties a set of PEs — the mechanism behind dynamic job
+// shrink (§2.1): before releasing cores back to the scheduler, every
+// rank resident on a departing PE migrates to the least-loaded
+// remaining PE. Ranks elsewhere stay put.
+type EvacuateLB struct {
+	// Departing lists PE ids that must end up empty.
+	Departing []int
+}
+
+// Name implements Strategy.
+func (e EvacuateLB) Name() string { return "EvacuateLB" }
+
+// Rebalance implements Strategy.
+func (e EvacuateLB) Rebalance(loads []RankLoad, numPEs int) []int {
+	leaving := make(map[int]bool, len(e.Departing))
+	for _, pe := range e.Departing {
+		leaving[pe] = true
+	}
+	assign := make([]int, len(loads))
+	peLoad := make([]sim.Time, numPEs)
+	for i, l := range loads {
+		assign[i] = l.PE
+		peLoad[l.PE] += l.Load
+	}
+	// Move evacuees one at a time, heaviest first, to the least-loaded
+	// surviving PE.
+	order := make([]int, 0, len(loads))
+	for i, l := range loads {
+		if leaving[l.PE] && l.Migratable {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return loads[order[a]].Load > loads[order[b]].Load })
+	for _, i := range order {
+		dest := -1
+		for pe := 0; pe < numPEs; pe++ {
+			if leaving[pe] {
+				continue
+			}
+			if dest < 0 || peLoad[pe] < peLoad[dest] {
+				dest = pe
+			}
+		}
+		if dest < 0 {
+			// Every PE is departing; nothing valid to do.
+			break
+		}
+		peLoad[loads[i].PE] -= loads[i].Load
+		peLoad[dest] += loads[i].Load
+		assign[i] = dest
+	}
+	return assign
+}
+
+// NullLB keeps every rank in place (baseline for ablations).
+type NullLB struct{}
+
+// Name implements Strategy.
+func (NullLB) Name() string { return "NullLB" }
+
+// Rebalance implements Strategy.
+func (NullLB) Rebalance(loads []RankLoad, numPEs int) []int {
+	assign := make([]int, len(loads))
+	for i, l := range loads {
+		assign[i] = l.PE
+	}
+	return assign
+}

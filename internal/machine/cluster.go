@@ -1,0 +1,256 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"provirt/internal/mem"
+	"provirt/internal/sim"
+)
+
+// Config describes a cluster to simulate.
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// ProcsPerNode is the number of OS processes launched per node
+	// (one per socket or per node is typical for AMPI's SMP mode).
+	ProcsPerNode int
+	// PEsPerProc is the number of processing elements (scheduler
+	// threads pinned to cores) per process. PEsPerProc > 1 is what the
+	// paper calls SMP mode.
+	PEsPerProc int
+	// Cost is the cost model; nil selects Default().
+	Cost *CostModel
+	// Seed drives all pseudo-randomness in the run.
+	Seed uint64
+}
+
+// Validate checks the configuration for structural errors.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("machine: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.ProcsPerNode <= 0 {
+		return fmt.Errorf("machine: ProcsPerNode must be positive, got %d", c.ProcsPerNode)
+	}
+	if c.PEsPerProc <= 0 {
+		return fmt.Errorf("machine: PEsPerProc must be positive, got %d", c.PEsPerProc)
+	}
+	return nil
+}
+
+// TotalPEs returns the number of processing elements in the cluster.
+func (c Config) TotalPEs() int { return c.Nodes * c.ProcsPerNode * c.PEsPerProc }
+
+// SMPMode reports whether processes host more than one PE.
+func (c Config) SMPMode() bool { return c.PEsPerProc > 1 }
+
+// Cluster is the simulated machine: nodes containing OS processes
+// containing PEs, joined by a tiered network and a shared filesystem.
+type Cluster struct {
+	Engine *sim.Engine
+	Cost   *CostModel
+	RNG    *sim.RNG
+	Nodes  []*Node
+	FS     *SharedFS
+
+	pes []*PE
+}
+
+// Node is one compute node.
+type Node struct {
+	ID    int
+	Procs []*Process
+}
+
+// Process is one OS process: an address space plus one or more PEs.
+type Process struct {
+	ID       int // global process id
+	Node     *Node
+	PEs      []*PE
+	AS       *mem.AddressSpace
+	Walltime time.Duration // accumulated startup work charged to this process
+
+	heapArena *mem.Region
+	heapNext  uint64
+}
+
+// Malloc allocates n bytes on the process's (non-migratable) heap and
+// returns the address. This is the allocator static constructors hit at
+// dlopen time — allocations the privatization runtime cannot intercept.
+func (p *Process) Malloc(n uint64) uint64 {
+	n = (n + 7) &^ 7
+	if p.heapArena == nil || p.heapNext+n > p.heapArena.End() {
+		size := uint64(1 << 24)
+		if n > size {
+			size = n
+		}
+		p.heapArena = p.AS.Mmap(size, "process-heap")
+		p.heapNext = p.heapArena.Base
+	}
+	addr := p.heapNext
+	p.heapNext += n
+	return addr
+}
+
+// PE is a processing element: one scheduler thread pinned to a core.
+type PE struct {
+	ID   int // global PE id
+	Proc *Process
+	// Sched is the user-level thread scheduler bound to this PE. It is
+	// declared as an interface to keep the package dependency order
+	// machine -> (nothing); package ult assigns the concrete type.
+	Sched Scheduler
+}
+
+// Scheduler is the contract package ult's per-PE scheduler fulfils.
+type Scheduler interface {
+	// Now reports the PE's local clock.
+	Now() sim.Time
+}
+
+// New builds a cluster per cfg. The engine clock starts at zero.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cost := cfg.Cost
+	if cost == nil {
+		cost = Default()
+	}
+	cl := &Cluster{
+		Engine: sim.NewEngine(),
+		Cost:   cost,
+		RNG:    sim.NewRNG(cfg.Seed),
+	}
+	cl.FS = NewSharedFS(cl.Engine, cost)
+	procID, peID := 0, 0
+	for n := 0; n < cfg.Nodes; n++ {
+		node := &Node{ID: n}
+		for p := 0; p < cfg.ProcsPerNode; p++ {
+			proc := &Process{ID: procID, Node: node, AS: mem.NewAddressSpace()}
+			procID++
+			for q := 0; q < cfg.PEsPerProc; q++ {
+				pe := &PE{ID: peID, Proc: proc}
+				peID++
+				proc.PEs = append(proc.PEs, pe)
+				cl.pes = append(cl.pes, pe)
+			}
+			node.Procs = append(node.Procs, proc)
+		}
+		cl.Nodes = append(cl.Nodes, node)
+	}
+	return cl, nil
+}
+
+// PEs returns every PE in global id order.
+func (cl *Cluster) PEs() []*PE { return cl.pes }
+
+// PE returns the PE with global id i.
+func (cl *Cluster) PE(i int) *PE { return cl.pes[i] }
+
+// Processes returns every process in global id order.
+func (cl *Cluster) Processes() []*Process {
+	var out []*Process
+	for _, n := range cl.Nodes {
+		out = append(out, n.Procs...)
+	}
+	return out
+}
+
+// TransferTime returns the network cost of moving n bytes from PE a to
+// PE b, picking the tier from their relative placement.
+func (cl *Cluster) TransferTime(a, b *PE, n uint64) time.Duration {
+	c := cl.Cost
+	switch {
+	case a.Proc == b.Proc:
+		return c.SharedMemLatency + time.Duration(float64(n)/c.SharedMemBandwidth*float64(time.Second))
+	case a.Proc.Node == b.Proc.Node:
+		return c.IntraNodeLatency + time.Duration(float64(n)/c.IntraNodeBandwidth*float64(time.Second))
+	default:
+		return c.InterNodeLatency + time.Duration(float64(n)/c.InterNodeBandwidth*float64(time.Second))
+	}
+}
+
+// SharedFS models a parallel filesystem whose aggregate bandwidth is
+// shared by all clients. Transfers serialize on the filesystem resource,
+// so per-client throughput degrades as more processes do I/O at once —
+// the behaviour that makes FSglobals startup scale poorly (§3.2).
+type SharedFS struct {
+	engine   *sim.Engine
+	cost     *CostModel
+	busyTill sim.Time
+
+	files map[string]uint64 // path -> size
+
+	// Stats
+	BytesWritten uint64
+	BytesRead    uint64
+	Opens        uint64
+}
+
+// NewSharedFS returns an empty filesystem.
+func NewSharedFS(e *sim.Engine, c *CostModel) *SharedFS {
+	return &SharedFS{engine: e, cost: c, files: make(map[string]uint64)}
+}
+
+// transfer charges a transfer of n bytes starting no earlier than start
+// and returns its completion time.
+func (fs *SharedFS) transfer(start sim.Time, n uint64) sim.Time {
+	if fs.busyTill > start {
+		start = fs.busyTill
+	}
+	done := start + fs.cost.FSOpenLatency +
+		time.Duration(float64(n)/fs.cost.FSBandwidth*float64(time.Second))
+	fs.busyTill = done
+	return done
+}
+
+// WriteFile writes a file of n bytes beginning at virtual time start and
+// returns the completion time.
+func (fs *SharedFS) WriteFile(start sim.Time, path string, n uint64) sim.Time {
+	fs.files[path] = n
+	fs.Opens++
+	fs.BytesWritten += n
+	return fs.transfer(start, n)
+}
+
+// ReadFile reads the named file beginning at start; it returns the
+// completion time and the file size.
+func (fs *SharedFS) ReadFile(start sim.Time, path string) (sim.Time, uint64, error) {
+	n, ok := fs.files[path]
+	if !ok {
+		return start, 0, fmt.Errorf("machine: shared fs: no such file %q", path)
+	}
+	fs.Opens++
+	fs.BytesRead += n
+	return fs.transfer(start, n), n, nil
+}
+
+// Populate records a pre-existing file without charging I/O time —
+// contents written by an earlier job on the persistent shared
+// filesystem (e.g. checkpoint files a restarted job reads back).
+func (fs *SharedFS) Populate(path string, n uint64) {
+	fs.files[path] = n
+}
+
+// Exists reports whether path is present.
+func (fs *SharedFS) Exists(path string) bool {
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Remove deletes a file (no time cost; cleanup happens off the critical
+// path).
+func (fs *SharedFS) Remove(path string) {
+	delete(fs.files, path)
+}
+
+// TotalBytes reports the space consumed on the filesystem.
+func (fs *SharedFS) TotalBytes() uint64 {
+	var t uint64
+	for _, n := range fs.files {
+		t += n
+	}
+	return t
+}

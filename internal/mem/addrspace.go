@@ -1,0 +1,192 @@
+// Package mem models virtual memory for the reproduction: a simulated
+// 64-bit address space with mmap-style region mapping, and an
+// Isomalloc-style migratable allocator.
+//
+// The distinction between the two allocation paths is the crux of the
+// paper's migration story. Segments mapped by the (simulated) dynamic
+// linker come from the plain mmap path and live at process-chosen
+// addresses, so they cannot be migrated between address spaces —
+// exactly why PIPglobals and FSglobals cannot support rank migration
+// (§3.1, §3.2). Isomalloc allocations live in a per-rank virtual address
+// range reserved identically in every process, so their bytes can be
+// copied to another process with all internal pointers remaining valid —
+// which is what lets PIEglobals migrate code and data segments (§3.3).
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the granularity of region mapping.
+const PageSize = 4096
+
+// RegionKind distinguishes how a region was allocated.
+type RegionKind int
+
+const (
+	// MmapRegion is an anonymous process-local mapping, such as the
+	// segments created by the dynamic linker. Not migratable.
+	MmapRegion RegionKind = iota
+	// IsoRegion is a mapping inside a rank's reserved Isomalloc range.
+	// Migratable: the same virtual addresses are reserved in every
+	// process.
+	IsoRegion
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case MmapRegion:
+		return "mmap"
+	case IsoRegion:
+		return "isomalloc"
+	default:
+		return fmt.Sprintf("RegionKind(%d)", int(k))
+	}
+}
+
+// Region is a contiguous mapped range of the simulated address space.
+type Region struct {
+	Base  uint64
+	Size  uint64
+	Kind  RegionKind
+	Label string
+	// Owner is the virtual rank the region belongs to, or -1 for
+	// process-wide mappings.
+	Owner int
+}
+
+// End returns one past the last mapped address.
+func (r *Region) End() uint64 { return r.Base + r.Size }
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// Layout constants for the simulated address space. The mmap arena and
+// the Isomalloc arena are disjoint so a pointer's provenance is decidable
+// from its value alone, as it is on a real system with a reserved range.
+const (
+	mmapBase = 0x0000_7000_0000_0000
+	// IsomallocBase is where rank 0's reserved range begins.
+	IsomallocBase = 0x0000_1000_0000_0000
+	// IsomallocRangeSize is the per-rank reserved range (64 GiB of
+	// virtual space in the real implementation; the value here only
+	// needs to exceed any rank's footprint).
+	IsomallocRangeSize = 1 << 36
+)
+
+// AddressSpace is one OS process's view of virtual memory.
+type AddressSpace struct {
+	next    uint64
+	regions map[uint64]*Region
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{
+		next:    mmapBase,
+		regions: make(map[uint64]*Region),
+	}
+}
+
+func roundUp(n uint64) uint64 {
+	return (n + PageSize - 1) &^ (PageSize - 1)
+}
+
+// Mmap maps an anonymous region of at least size bytes at a
+// process-chosen address and returns it. This is the path the simulated
+// dynamic linker uses for code and data segments; such regions are not
+// migratable.
+func (as *AddressSpace) Mmap(size uint64, label string) *Region {
+	if size == 0 {
+		size = PageSize
+	}
+	r := &Region{
+		Base:  as.next,
+		Size:  roundUp(size),
+		Kind:  MmapRegion,
+		Label: label,
+		Owner: -1,
+	}
+	as.next += r.Size + PageSize // guard page
+	as.regions[r.Base] = r
+	return r
+}
+
+// MapFixed maps a region at a caller-chosen base inside the Isomalloc
+// arena. It fails if the range overlaps an existing mapping.
+func (as *AddressSpace) MapFixed(base, size uint64, label string, owner int) (*Region, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("mem: MapFixed with zero size")
+	}
+	size = roundUp(size)
+	for _, r := range as.regions {
+		if base < r.End() && r.Base < base+size {
+			return nil, fmt.Errorf("mem: fixed mapping [%#x,%#x) overlaps %s [%#x,%#x)",
+				base, base+size, r.Label, r.Base, r.End())
+		}
+	}
+	r := &Region{Base: base, Size: size, Kind: IsoRegion, Label: label, Owner: owner}
+	as.regions[r.Base] = r
+	return r, nil
+}
+
+// Unmap removes the region starting at base.
+func (as *AddressSpace) Unmap(base uint64) error {
+	if _, ok := as.regions[base]; !ok {
+		return fmt.Errorf("mem: unmap of unmapped base %#x", base)
+	}
+	delete(as.regions, base)
+	return nil
+}
+
+// Find returns the region containing addr, or nil.
+func (as *AddressSpace) Find(addr uint64) *Region {
+	for _, r := range as.regions {
+		if r.Contains(addr) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Regions returns all mapped regions ordered by base address.
+func (as *AddressSpace) Regions() []*Region {
+	out := make([]*Region, 0, len(as.regions))
+	for _, r := range as.regions {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// MappedBytes reports the total size of all mapped regions.
+func (as *AddressSpace) MappedBytes() uint64 {
+	var n uint64
+	for _, r := range as.regions {
+		n += r.Size
+	}
+	return n
+}
+
+// RankRangeBase returns the base of virtual rank vp's reserved Isomalloc
+// range. The value is a pure function of vp, identical in every process.
+func RankRangeBase(vp int) uint64 {
+	return IsomallocBase + uint64(vp)*IsomallocRangeSize
+}
+
+// MaxRanks is the number of per-rank ranges the Isomalloc arena holds
+// before it would collide with the mmap arena.
+const MaxRanks = (mmapBase - IsomallocBase) / IsomallocRangeSize
+
+// RankOfAddress returns the virtual rank whose reserved range contains
+// addr, or -1 if addr is outside the Isomalloc arena.
+func RankOfAddress(addr uint64) int {
+	if addr < IsomallocBase || addr >= mmapBase {
+		return -1
+	}
+	vp := (addr - IsomallocBase) / IsomallocRangeSize
+	return int(vp)
+}

@@ -1,0 +1,217 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Block is one live Isomalloc allocation. Payload cells are 8-byte words;
+// allocations that only matter for their footprint (user heap ballast)
+// may carry a nil payload and record only their size.
+type Block struct {
+	Addr  uint64
+	Size  uint64
+	Label string
+	// Words is the allocation's payload, one uint64 per 8 bytes, or nil
+	// for footprint-only ballast. Pointer values stored here survive
+	// migration verbatim because the block's address is identical in
+	// every process.
+	Words []uint64
+	// Shared marks a block backed by a shared read-only mapping (one
+	// physical copy mapped from a single descriptor, per the paper's
+	// §6 future-work plan). Shared blocks occupy virtual address space
+	// but contribute neither resident memory nor migration payload:
+	// the destination re-establishes the mapping instead of receiving
+	// bytes.
+	Shared bool
+}
+
+// End returns one past the last byte of the block.
+func (b *Block) End() uint64 { return b.Addr + b.Size }
+
+// Heap is a per-rank Isomalloc heap: a bump allocator with free-list
+// reuse inside the rank's reserved virtual address range. All state
+// needed to reconstruct the heap in another process is serializable.
+type Heap struct {
+	vp     int
+	base   uint64
+	limit  uint64
+	brk    uint64
+	blocks map[uint64]*Block
+	free   []*Block // freed blocks available for exact/first-fit reuse
+}
+
+// NewHeap returns an empty heap for virtual rank vp. vp must be within
+// the arena's capacity (MaxRanks).
+func NewHeap(vp int) *Heap {
+	if vp < 0 || vp >= MaxRanks {
+		panic(fmt.Sprintf("isomalloc: rank %d outside arena capacity %d", vp, MaxRanks))
+	}
+	base := RankRangeBase(vp)
+	return &Heap{
+		vp:     vp,
+		base:   base,
+		limit:  base + IsomallocRangeSize,
+		brk:    base,
+		blocks: make(map[uint64]*Block),
+	}
+}
+
+// VP returns the owning virtual rank.
+func (h *Heap) VP() int { return h.vp }
+
+// Base returns the heap's reserved-range base address.
+func (h *Heap) Base() uint64 { return h.base }
+
+func align8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// Alloc allocates size bytes and returns the block. The payload is
+// zero-initialized.
+func (h *Heap) Alloc(size uint64, label string) (*Block, error) {
+	b, err := h.allocRaw(size, label)
+	if err != nil {
+		return nil, err
+	}
+	b.Words = make([]uint64, b.Size/8)
+	return b, nil
+}
+
+// AllocBallast allocates size bytes of footprint-only memory: the block
+// contributes to the heap's serialized size but carries no payload
+// words. Workloads use it to model large user heaps cheaply.
+func (h *Heap) AllocBallast(size uint64, label string) (*Block, error) {
+	return h.allocRaw(size, label)
+}
+
+func (h *Heap) allocRaw(size uint64, label string) (*Block, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("isomalloc: zero-size allocation")
+	}
+	size = align8(size)
+	// First-fit reuse from the free list.
+	for i, f := range h.free {
+		if f.Size >= size {
+			h.free = append(h.free[:i], h.free[i+1:]...)
+			b := &Block{Addr: f.Addr, Size: f.Size, Label: label}
+			h.blocks[b.Addr] = b
+			return b, nil
+		}
+	}
+	if h.brk+size > h.limit {
+		return nil, fmt.Errorf("isomalloc: rank %d range exhausted (%d bytes requested)", h.vp, size)
+	}
+	b := &Block{Addr: h.brk, Size: size, Label: label}
+	h.brk += size
+	h.blocks[b.Addr] = b
+	return b, nil
+}
+
+// Free releases the block at addr for reuse.
+func (h *Heap) Free(addr uint64) error {
+	b, ok := h.blocks[addr]
+	if !ok {
+		return fmt.Errorf("isomalloc: free of unallocated address %#x", addr)
+	}
+	delete(h.blocks, addr)
+	b.Words = nil
+	b.Label = ""
+	h.free = append(h.free, b)
+	return nil
+}
+
+// Lookup returns the live block containing addr, or nil.
+func (h *Heap) Lookup(addr uint64) *Block {
+	for _, b := range h.blocks {
+		if addr >= b.Addr && addr < b.End() {
+			return b
+		}
+	}
+	return nil
+}
+
+// LiveBytes reports the total size of live allocations.
+func (h *Heap) LiveBytes() uint64 {
+	var n uint64
+	for _, b := range h.blocks {
+		n += b.Size
+	}
+	return n
+}
+
+// ResidentBytes reports live allocation bytes excluding blocks backed
+// by shared read-only mappings — the per-rank physical memory
+// footprint.
+func (h *Heap) ResidentBytes() uint64 {
+	var n uint64
+	for _, b := range h.blocks {
+		if !b.Shared {
+			n += b.Size
+		}
+	}
+	return n
+}
+
+// LiveBlocks reports the number of live allocations.
+func (h *Heap) LiveBlocks() int { return len(h.blocks) }
+
+// Blocks returns live blocks ordered by address.
+func (h *Heap) Blocks() []*Block {
+	out := make([]*Block, 0, len(h.blocks))
+	for _, b := range h.blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Snapshot is a serialized heap image: everything another process needs
+// to reconstruct the heap at identical addresses.
+type Snapshot struct {
+	VP     int
+	Brk    uint64
+	Blocks []Block
+}
+
+// Bytes reports the number of payload bytes the snapshot transfers on
+// the wire (live block sizes; free-list structure travels as
+// metadata). Blocks backed by shared mappings travel as metadata only:
+// the destination remaps them instead of receiving their bytes.
+func (s *Snapshot) Bytes() uint64 {
+	var n uint64
+	for _, b := range s.Blocks {
+		if !b.Shared {
+			n += b.Size
+		}
+	}
+	return n
+}
+
+// Serialize captures the heap for migration.
+func (h *Heap) Serialize() *Snapshot {
+	snap := &Snapshot{VP: h.vp, Brk: h.brk}
+	for _, b := range h.Blocks() {
+		cp := Block{Addr: b.Addr, Size: b.Size, Label: b.Label, Shared: b.Shared}
+		if b.Words != nil {
+			cp.Words = append([]uint64(nil), b.Words...)
+		}
+		snap.Blocks = append(snap.Blocks, cp)
+	}
+	return snap
+}
+
+// Restore reconstructs a heap from a snapshot. Addresses are preserved
+// exactly; this is what makes Isomalloc migration transparent to any
+// pointers held in the payload.
+func Restore(snap *Snapshot) *Heap {
+	h := NewHeap(snap.VP)
+	h.brk = snap.Brk
+	for i := range snap.Blocks {
+		b := snap.Blocks[i]
+		nb := &Block{Addr: b.Addr, Size: b.Size, Label: b.Label, Shared: b.Shared}
+		if b.Words != nil {
+			nb.Words = append([]uint64(nil), b.Words...)
+		}
+		h.blocks[nb.Addr] = nb
+	}
+	return h
+}

@@ -1,0 +1,171 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All time in the reproduction is virtual: costs are charged to a simulated
+// clock, never measured from the host. A simulation run is therefore a pure
+// function of its configuration and seed, and every experiment in the paper
+// reproduces bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from the start of
+// the simulation. It is a time.Duration so costs compose with the standard
+// library's unit constants (time.Nanosecond etc.).
+type Time = time.Duration
+
+// Event is a scheduled callback. Events with equal timestamps fire in the
+// order they were scheduled, which keeps runs deterministic.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Time reports when the event fires.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending event queue.
+//
+// The engine is not safe for concurrent use; the whole simulation runs on a
+// single logical thread (rank user-level threads hand control back and forth
+// with the engine through package ult).
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsFired reports how many events have been processed so far.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a bug in a cost model, and silently clamping would
+// mask causality violations.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Halt stops the run loop after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// ErrStalled is returned by Run when the event queue drains while the
+// caller-supplied done predicate is still false — the simulated system has
+// deadlocked.
+var ErrStalled = errors.New("sim: event queue empty before completion (deadlock)")
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: clock regression")
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until done returns true, the queue drains, or Halt is
+// called. If the queue drains first, Run returns ErrStalled.
+func (e *Engine) Run(done func() bool) error {
+	e.halted = false
+	for !e.halted {
+		if done != nil && done() {
+			return nil
+		}
+		if !e.Step() {
+			if done != nil && !done() {
+				return ErrStalled
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// Drain fires all pending events unconditionally.
+func (e *Engine) Drain() {
+	for e.Step() {
+	}
+}
+
+// Pending reports the number of live events still queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

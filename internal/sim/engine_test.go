@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Drain()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired in order %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock at %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreaksBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired as %v", order)
+		}
+	}
+}
+
+func TestEngineAfterIsRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Drain()
+	if at != 150 {
+		t.Fatalf("After fired at %v, want 150", at)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	e.Drain()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d pending after drain", e.Pending())
+	}
+}
+
+func TestEngineRunStalls(t *testing.T) {
+	e := NewEngine()
+	err := e.Run(func() bool { return false })
+	if err != ErrStalled {
+		t.Fatalf("got %v, want ErrStalled", err)
+	}
+}
+
+func TestEngineRunDone(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 5 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	if err := e.Run(func() bool { return n >= 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("done predicate stopped at n=%d", n)
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1, func() { n++; e.Halt() })
+	e.At(2, func() { n++ })
+	if err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("halt did not stop the loop; n=%d", n)
+	}
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(42*time.Nanosecond, func() {})
+	if ev.Time() != 42*time.Nanosecond {
+		t.Fatalf("Time() = %v", ev.Time())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the clock ends at the max.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			d := Time(d)
+			if d > max {
+				max = d
+			}
+			e.At(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Drain()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	a = NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnUniformish(t *testing.T) {
+	r := NewRNG(11)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(10)]++
+	}
+	for d, c := range counts {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("digit %d count %d far from %d", d, c, n/10)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Errorf("mean %v, want ~0", mean)
+	}
+	if variance < 0.95 || variance > 1.05 {
+		t.Errorf("variance %v, want ~1", variance)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	a := NewRNG(9).Fork(1)
+	b := NewRNG(9).Fork(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams correlated: %d collisions", same)
+	}
+}

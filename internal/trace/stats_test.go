@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesSummaries(t *testing.T) {
+	s := NewSeries("lat")
+	for _, v := range []float64{4, 2, 8, 6} {
+		s.Add(v)
+	}
+	if s.Name() != "lat" || s.N() != 4 {
+		t.Fatalf("name/n wrong")
+	}
+	if s.Sum() != 20 || s.Mean() != 5 {
+		t.Fatalf("sum=%v mean=%v", s.Sum(), s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 8 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+	want := math.Sqrt((1 + 9 + 9 + 1) / 4.0)
+	if math.Abs(s.Stddev()-want) > 1e-12 {
+		t.Fatalf("stddev %v want %v", s.Stddev(), want)
+	}
+	if s.Percentile(50) != 4 {
+		t.Fatalf("p50 %v", s.Percentile(50))
+	}
+	if s.Percentile(100) != 8 || s.Percentile(0) != 2 {
+		t.Fatal("extreme percentiles wrong")
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries("e")
+	if s.Mean() != 0 || s.Stddev() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty series summaries should be zero")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty min/max should be infinities")
+	}
+}
+
+func TestSeriesDuration(t *testing.T) {
+	s := NewSeries("d")
+	s.AddDuration(3 * time.Microsecond)
+	if s.Sum() != 3000 {
+		t.Fatalf("duration stored as %v ns", s.Sum())
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		s := NewSeries("p")
+		for _, v := range vals {
+			s.Add(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := s.Percentile(pa), s.Percentile(pb)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("msgs")
+	c.Inc()
+	c.Addn(10)
+	if c.Value() != 11 || c.Name() != "msgs" {
+		t.Fatalf("counter %d", c.Value())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "A", "Bee", "C")
+	tb.AddRow("1", "2", "3")
+	tb.AddRowf("x", 1500*time.Nanosecond, 0.123456)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "Bee") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "1500ns") {
+		t.Errorf("duration cell not formatted: %s", out)
+	}
+	if !strings.Contains(out, "0.123") {
+		t.Errorf("float cell not formatted: %s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("%d lines: %q", len(lines), out)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		5 * time.Nanosecond:     "5ns",
+		42 * time.Microsecond:   "42.0us",
+		3500 * time.Microsecond: "3500.0us",
+		250 * time.Millisecond:  "250.00ms",
+		12 * time.Second:        "12.00s",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2048:    "2.0KiB",
+		3 << 20: "3.0MiB",
+		5 << 30: "5.00GiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

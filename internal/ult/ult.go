@@ -1,0 +1,368 @@
+// Package ult implements user-level threads over goroutines with strict
+// cooperative handoff, bound to the discrete-event clock.
+//
+// Exactly one goroutine in the whole simulation runs at a time: either
+// the engine (processing events) or one rank thread. A thread runs real
+// Go code — the MPI program — and charges virtual compute time to its
+// PE's local clock as it goes. When it blocks (inside MPI_Recv, a
+// barrier, ...), control hands back to the per-PE scheduler, which
+// context switches to the next ready thread, charging the privatization
+// method's switch cost. This mirrors AMPI's message-driven cooperative
+// scheduling of virtual ranks (§2.1) with ~100ns switches.
+package ult
+
+import (
+	"fmt"
+
+	"provirt/internal/machine"
+	"provirt/internal/sim"
+)
+
+// State is a thread's lifecycle state.
+type State int
+
+const (
+	// Created: never run.
+	Created State = iota
+	// Ready: runnable, waiting in a scheduler queue.
+	Ready
+	// Running: currently executing.
+	Running
+	// Blocked: suspended inside a blocking call.
+	Blocked
+	// Done: body returned.
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Created:
+		return "created"
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Thread is one user-level thread (one virtual rank).
+type Thread struct {
+	ID    int
+	state State
+	sched *Scheduler
+	body  func(*Thread)
+
+	resume chan struct{}
+	parked chan struct{}
+
+	started bool
+	killed  bool
+	// Err holds a panic recovered from the thread body.
+	Err error
+
+	// Load is virtual compute time accumulated since the last call to
+	// ResetLoad; the load balancer reads it.
+	Load sim.Time
+
+	// Context is the privatization rank context attached by the core
+	// runtime; ult treats it opaquely but exposes it to the switch
+	// hook.
+	Context any
+}
+
+// NewThread creates a thread that will run body when first scheduled.
+func NewThread(id int, body func(*Thread)) *Thread {
+	return &Thread{
+		ID:     id,
+		body:   body,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+}
+
+// State reports the thread's lifecycle state.
+func (t *Thread) State() State { return t.state }
+
+// Scheduler returns the scheduler the thread is currently bound to.
+func (t *Thread) Scheduler() *Scheduler { return t.sched }
+
+// Now reports the thread's PE-local virtual clock. Valid only while the
+// thread is running.
+func (t *Thread) Now() sim.Time { return t.sched.now }
+
+// Advance charges d of virtual compute time to the thread's PE.
+func (t *Thread) Advance(d sim.Time) {
+	if d < 0 {
+		panic("ult: negative compute time")
+	}
+	t.sched.now += d
+	t.Load += d
+	t.sched.busy += d
+}
+
+// ResetLoad zeroes the thread's accumulated load (after a LB pass).
+func (t *Thread) ResetLoad() { t.Load = 0 }
+
+// killedPanic is the sentinel a killed thread unwinds with.
+type killedPanic struct{}
+
+// park hands control back to the scheduler until resumed. The caller
+// must set the thread's state (Blocked or Ready) first.
+func (t *Thread) park() {
+	t.parked <- struct{}{}
+	<-t.resume
+	if t.killed {
+		// Unwind the body; the run wrapper recovers and parks the
+		// goroutine for good.
+		panic(killedPanic{})
+	}
+	t.state = Running
+}
+
+// Kill forcibly terminates a parked thread (hard-fault injection: the
+// node hosting the rank died). The thread's body unwinds via a panic
+// recovered by the runtime; Err is set to a description. Kill may be
+// called on Blocked, Ready, or never-started threads — i.e. from any
+// engine event, where no thread is Running; killing a Running thread
+// panics.
+func (t *Thread) Kill(reason string) {
+	switch t.state {
+	case Done:
+		return
+	case Blocked, Ready, Created:
+	default:
+		panic(fmt.Sprintf("ult: kill of %v thread %d", t.state, t.ID))
+	}
+	t.killed = true
+	if !t.started {
+		t.state = Done
+		t.Err = fmt.Errorf("ult: thread %d killed before first run: %s", t.ID, reason)
+		if t.sched != nil {
+			t.sched.done++
+		}
+		return
+	}
+	t.resume <- struct{}{}
+	<-t.parked
+	t.Err = fmt.Errorf("ult: thread %d killed: %s", t.ID, reason)
+}
+
+// Suspend parks the thread until another component calls Wake. The
+// typical caller is a blocking MPI operation whose completion condition
+// is not yet met.
+func (t *Thread) Suspend() {
+	t.state = Blocked
+	t.park()
+}
+
+// Yield places the thread at the back of its scheduler's ready queue
+// and parks; it resumes after other ready threads have run.
+func (t *Thread) Yield() {
+	s := t.sched
+	t.state = Ready
+	s.ready = append(s.ready, t)
+	t.park()
+}
+
+// Wake makes a blocked thread ready on its current scheduler and
+// ensures a scheduler pass is queued. Waking a non-blocked thread
+// panics: it indicates a lost-wakeup bug in the caller.
+func (t *Thread) Wake() {
+	if t.state != Blocked && t.state != Created {
+		panic(fmt.Sprintf("ult: wake of thread %d in state %v", t.ID, t.state))
+	}
+	s := t.sched
+	t.state = Ready
+	s.ready = append(s.ready, t)
+	s.schedule()
+}
+
+// run hands control to the thread until it parks or finishes.
+func (t *Thread) run() {
+	if !t.started {
+		t.started = true
+		go func() {
+			<-t.resume
+			defer func() {
+				if r := recover(); r != nil {
+					if _, wasKill := r.(killedPanic); !wasKill {
+						t.Err = fmt.Errorf("ult: thread %d panicked: %v", t.ID, r)
+					}
+				}
+				t.state = Done
+				if t.sched != nil {
+					t.sched.done++
+				}
+				t.parked <- struct{}{}
+			}()
+			t.state = Running
+			t.body(t)
+		}()
+	}
+	t.resume <- struct{}{}
+	<-t.parked
+}
+
+// Scheduler is the per-PE cooperative scheduler.
+type Scheduler struct {
+	PE     *machine.PE
+	Engine *sim.Engine
+	Cost   *machine.CostModel
+
+	now   sim.Time
+	ready []*Thread
+
+	passQueued bool
+	inPass     bool
+
+	// SwitchExtra is the privatization method's additional
+	// per-context-switch cost (TLS segment pointer update, GOT swap);
+	// nil means zero.
+	SwitchExtra func(from, to *Thread) sim.Time
+
+	// Trace enables execution-span recording (Projections-style
+	// timelines); spans accumulate in Spans.
+	Trace bool
+	// Spans holds one entry per scheduling quantum when Trace is on.
+	Spans []Span
+
+	// Stats
+	switches   uint64
+	switchTime sim.Time
+	busy       sim.Time
+	done       int
+	threads    []*Thread
+	last       *Thread
+}
+
+// NewScheduler binds a scheduler to a PE.
+func NewScheduler(pe *machine.PE, engine *sim.Engine, cost *machine.CostModel) *Scheduler {
+	s := &Scheduler{PE: pe, Engine: engine, Cost: cost}
+	pe.Sched = s
+	return s
+}
+
+// Now reports the PE-local clock.
+func (s *Scheduler) Now() sim.Time { return s.now }
+
+// Switches reports the number of ULT context switches performed.
+func (s *Scheduler) Switches() uint64 { return s.switches }
+
+// SwitchTime reports total virtual time spent context switching.
+func (s *Scheduler) SwitchTime() sim.Time { return s.switchTime }
+
+// BusyTime reports total virtual compute time charged to this PE.
+func (s *Scheduler) BusyTime() sim.Time { return s.busy }
+
+// Threads returns the threads homed on this scheduler.
+func (s *Scheduler) Threads() []*Thread { return s.threads }
+
+// DoneCount reports how many of this scheduler's threads have finished.
+func (s *Scheduler) DoneCount() int { return s.done }
+
+// Adopt homes a thread on this scheduler and marks it ready to run.
+func (s *Scheduler) Adopt(t *Thread) {
+	t.sched = s
+	s.threads = append(s.threads, t)
+	if t.state == Created || t.state == Blocked {
+		t.state = Ready
+		s.ready = append(s.ready, t)
+	}
+	s.schedule()
+}
+
+// Remove unbinds a (blocked or done) thread from this scheduler, e.g.
+// for migration. Removing a running or ready thread panics.
+func (s *Scheduler) Remove(t *Thread) {
+	if t.state == Running || t.state == Ready {
+		panic(fmt.Sprintf("ult: remove of %v thread %d", t.state, t.ID))
+	}
+	for i, tt := range s.threads {
+		if tt == t {
+			s.threads = append(s.threads[:i], s.threads[i+1:]...)
+			break
+		}
+	}
+	if t.state == Done {
+		s.done--
+	}
+	if s.last == t {
+		s.last = nil
+	}
+	t.sched = nil
+}
+
+// AdoptBlocked homes a thread on this scheduler without making it
+// runnable; a later Wake schedules it. Migration uses this to land a
+// rank that is still suspended in a barrier.
+func (s *Scheduler) AdoptBlocked(t *Thread) {
+	t.sched = s
+	s.threads = append(s.threads, t)
+}
+
+// schedule queues a scheduler pass if one is needed and not already
+// pending.
+func (s *Scheduler) schedule() {
+	if s.passQueued || s.inPass || len(s.ready) == 0 {
+		return
+	}
+	s.passQueued = true
+	at := s.now
+	if now := s.Engine.Now(); now > at {
+		at = now
+	}
+	s.Engine.At(at, s.pass)
+}
+
+// pass runs ready threads until the queue drains. It executes as one
+// engine event; virtual time advances on the PE-local clock as threads
+// compute.
+func (s *Scheduler) pass() {
+	s.passQueued = false
+	s.inPass = true
+	defer func() { s.inPass = false }()
+	if now := s.Engine.Now(); now > s.now {
+		s.now = now
+	}
+	for len(s.ready) > 0 {
+		t := s.ready[0]
+		s.ready = s.ready[1:]
+		if t.state != Ready {
+			continue
+		}
+		// Charge the context switch: scheduler overhead plus the
+		// privatization method's extra work.
+		cost := s.Cost.ULTSwitchBase
+		if s.SwitchExtra != nil {
+			cost += s.SwitchExtra(s.last, t)
+		}
+		s.now += cost
+		s.switches++
+		s.switchTime += cost
+		s.last = t
+		start := s.now
+		t.run()
+		if s.Trace {
+			s.Spans = append(s.Spans, Span{VP: t.ID, Start: start, End: s.now})
+		}
+	}
+}
+
+// Span is one scheduling quantum: thread VP ran on this PE from Start
+// to End in virtual time. The Projections-style timeline view of a run
+// is the per-PE sequence of spans.
+type Span struct {
+	VP    int      `json:"vp"`
+	Start sim.Time `json:"start_ns"`
+	End   sim.Time `json:"end_ns"`
+}
+
+// RunnableCount reports how many threads are waiting in the ready
+// queue.
+func (s *Scheduler) RunnableCount() int { return len(s.ready) }

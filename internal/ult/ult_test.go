@@ -1,0 +1,206 @@
+package ult
+
+import (
+	"testing"
+	"time"
+
+	"provirt/internal/machine"
+	"provirt/internal/sim"
+)
+
+func testSched(t *testing.T) (*Scheduler, *sim.Engine) {
+	t.Helper()
+	cl, err := machine.New(machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewScheduler(cl.PE(0), cl.Engine, cl.Cost), cl.Engine
+}
+
+func TestThreadRunsToCompletion(t *testing.T) {
+	s, e := testSched(t)
+	ran := false
+	th := NewThread(0, func(t *Thread) { ran = true })
+	s.Adopt(th)
+	e.Drain()
+	if !ran || th.State() != Done {
+		t.Fatalf("ran=%v state=%v", ran, th.State())
+	}
+	if s.DoneCount() != 1 {
+		t.Fatalf("done count %d", s.DoneCount())
+	}
+}
+
+func TestCooperativeInterleaving(t *testing.T) {
+	s, e := testSched(t)
+	var order []int
+	mk := func(id int) *Thread {
+		return NewThread(id, func(th *Thread) {
+			for i := 0; i < 3; i++ {
+				order = append(order, id)
+				th.Yield()
+			}
+		})
+	}
+	s.Adopt(mk(1))
+	s.Adopt(mk(2))
+	e.Drain()
+	want := []int{1, 2, 1, 2, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("order %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAdvanceMovesClockAndLoad(t *testing.T) {
+	s, e := testSched(t)
+	th := NewThread(0, func(th *Thread) {
+		th.Advance(5 * time.Millisecond)
+	})
+	s.Adopt(th)
+	e.Drain()
+	if s.Now() < 5*time.Millisecond {
+		t.Fatalf("clock %v", s.Now())
+	}
+	if th.Load != 5*time.Millisecond {
+		t.Fatalf("load %v", th.Load)
+	}
+	th.ResetLoad()
+	if th.Load != 0 {
+		t.Fatal("load not reset")
+	}
+	if s.BusyTime() != 5*time.Millisecond {
+		t.Fatalf("busy %v", s.BusyTime())
+	}
+}
+
+func TestSuspendWake(t *testing.T) {
+	s, e := testSched(t)
+	phase := 0
+	th := NewThread(0, func(th *Thread) {
+		phase = 1
+		th.Suspend()
+		phase = 2
+	})
+	s.Adopt(th)
+	e.Drain()
+	if phase != 1 || th.State() != Blocked {
+		t.Fatalf("phase=%d state=%v", phase, th.State())
+	}
+	e.After(time.Microsecond, func() { th.Wake() })
+	e.Drain()
+	if phase != 2 || th.State() != Done {
+		t.Fatalf("after wake: phase=%d state=%v", phase, th.State())
+	}
+}
+
+func TestSwitchCostCharged(t *testing.T) {
+	s, e := testSched(t)
+	extra := 7 * time.Nanosecond
+	s.SwitchExtra = func(from, to *Thread) sim.Time { return extra }
+	th := NewThread(0, func(th *Thread) {
+		for i := 0; i < 9; i++ {
+			th.Yield()
+		}
+	})
+	s.Adopt(th)
+	e.Drain()
+	if s.Switches() != 10 {
+		t.Fatalf("%d switches", s.Switches())
+	}
+	want := 10 * (s.Cost.ULTSwitchBase + extra)
+	if s.SwitchTime() != want {
+		t.Fatalf("switch time %v, want %v", s.SwitchTime(), want)
+	}
+}
+
+func TestPanicCapturedAsErr(t *testing.T) {
+	s, e := testSched(t)
+	th := NewThread(3, func(th *Thread) { panic("boom") })
+	s.Adopt(th)
+	e.Drain()
+	if th.Err == nil || th.State() != Done {
+		t.Fatalf("err=%v state=%v", th.Err, th.State())
+	}
+}
+
+func TestRemoveAndAdoptBlocked(t *testing.T) {
+	cl, _ := machine.New(machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 2})
+	s0 := NewScheduler(cl.PE(0), cl.Engine, cl.Cost)
+	s1 := NewScheduler(cl.PE(1), cl.Engine, cl.Cost)
+	var resumedOn *Scheduler
+	th := NewThread(0, func(th *Thread) {
+		th.Suspend()
+		resumedOn = th.Scheduler()
+	})
+	s0.Adopt(th)
+	cl.Engine.Drain()
+	// Migrate the blocked thread.
+	s0.Remove(th)
+	if th.Scheduler() != nil {
+		t.Fatal("removed thread still bound")
+	}
+	s1.AdoptBlocked(th)
+	if th.State() != Blocked {
+		t.Fatal("AdoptBlocked changed state")
+	}
+	cl.Engine.After(time.Microsecond, func() { th.Wake() })
+	cl.Engine.Drain()
+	if resumedOn != s1 {
+		t.Fatal("thread did not resume on the destination scheduler")
+	}
+	if len(s0.Threads()) != 0 || len(s1.Threads()) != 1 {
+		t.Fatalf("thread lists: %d and %d", len(s0.Threads()), len(s1.Threads()))
+	}
+}
+
+func TestWakeOfRunnableThreadPanics(t *testing.T) {
+	s, e := testSched(t)
+	th := NewThread(0, func(th *Thread) { th.Yield() })
+	s.Adopt(th)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("waking a ready thread must panic")
+		}
+	}()
+	_ = e
+	th.Wake() // state Ready (adopted, not yet run)
+}
+
+func TestSchedulerClockFollowsEngine(t *testing.T) {
+	s, e := testSched(t)
+	// An event far in the future adopts a thread; the scheduler pass
+	// must not run the thread at an earlier local time.
+	e.At(time.Second, func() {
+		th := NewThread(0, func(th *Thread) {
+			if th.Now() < time.Second {
+				t.Errorf("thread ran at %v, before adoption time", th.Now())
+			}
+		})
+		s.Adopt(th)
+	})
+	e.Drain()
+}
+
+func TestManyThreadsFIFO(t *testing.T) {
+	s, e := testSched(t)
+	const n = 100
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		s.Adopt(NewThread(i, func(th *Thread) { order = append(order, i) }))
+	}
+	e.Drain()
+	for i := 0; i < n; i++ {
+		if order[i] != i {
+			t.Fatalf("adoption order not FIFO at %d: %v", i, order[:i+1])
+		}
+	}
+	if s.RunnableCount() != 0 {
+		t.Fatal("runnable queue not drained")
+	}
+}

@@ -1,0 +1,123 @@
+package adcirc_test
+
+import (
+	"testing"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/lb"
+	"provirt/internal/machine"
+	"provirt/internal/workloads/adcirc"
+)
+
+func smallCfg() adcirc.Config {
+	cfg := adcirc.DefaultConfig()
+	cfg.Width, cfg.Height = 48, 48
+	cfg.Steps = 12
+	cfg.LBPeriod = 4
+	cfg.StormRadius = 6
+	cfg.StormGrowth = 1.5
+	return cfg
+}
+
+func runSurge(t *testing.T, cfg adcirc.Config, vps, pes int, balancer lb.Strategy) (uint64, *ampi.World) {
+	t.Helper()
+	var volume uint64
+	prog := adcirc.New(cfg, func(res adcirc.Result) { volume += res.WetCellSteps })
+	w, err := ampi.NewWorld(ampi.Config{
+		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: pes},
+		VPs:       vps,
+		Privatize: core.KindPIEglobals,
+		Balancer:  balancer,
+	}, prog)
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return volume, w
+}
+
+// TestVolumeInvariant: total wet-cell work is a physical invariant,
+// independent of decomposition, virtualization ratio, or balancing.
+func TestVolumeInvariant(t *testing.T) {
+	cfg := smallCfg()
+	want := adcirc.TotalWetCellSteps(cfg)
+	if want == 0 {
+		t.Fatal("oracle volume is zero; storm misses the domain")
+	}
+	for _, shape := range []struct{ vps, pes int }{{1, 1}, {4, 2}, {8, 2}, {16, 4}} {
+		got, _ := runSurge(t, cfg, shape.vps, shape.pes, lb.GreedyRefineLB{})
+		if got != want {
+			t.Errorf("vps=%d pes=%d volume %d, oracle %d", shape.vps, shape.pes, got, want)
+		}
+	}
+}
+
+// TestStormCreatesImbalance: the hotspot concentrates on few ranks at
+// any instant.
+func TestStormCreatesImbalance(t *testing.T) {
+	cfg := smallCfg()
+	var maxLoad, minLoad = 0, 1 << 30
+	prog := adcirc.New(cfg, func(res adcirc.Result) {
+		if res.MaxStepLoad > maxLoad {
+			maxLoad = res.MaxStepLoad
+		}
+		if res.MaxStepLoad < minLoad {
+			minLoad = res.MaxStepLoad
+		}
+	})
+	w, err := ampi.NewWorld(ampi.Config{
+		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 2},
+		VPs:       8,
+		Privatize: core.KindPIEglobals,
+	}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxLoad <= 2*minLoad {
+		t.Errorf("storm load spread max=%d min=%d; expected concentration", maxLoad, minLoad)
+	}
+}
+
+// TestLoadBalancingHelps: with the storm-induced imbalance,
+// overdecomposition plus GreedyRefineLB beats the unvirtualized,
+// unbalanced baseline.
+func TestLoadBalancingHelps(t *testing.T) {
+	// Paper-scale per-step work: migration payloads (the 14 MB code
+	// segment) must be amortizable, as in the real ADCIRC runs.
+	cfg := adcirc.DefaultConfig()
+	cfg.Steps = 24
+	cfg.LBPeriod = 8
+
+	baseCfg := cfg
+	baseCfg.LBPeriod = 0
+	_, base := runSurge(t, baseCfg, 4, 4, nil) // 1 VP per PE, no LB
+	_, tuned := runSurge(t, cfg, 32, 4, lb.GreedyRefineLB{})
+	bt, tt := base.ExecutionTime(), tuned.ExecutionTime()
+	if tt >= bt {
+		t.Errorf("LB run %v not faster than baseline %v (migrations=%d)", tt, bt, tuned.Migrations)
+	}
+	if tuned.Migrations == 0 {
+		t.Error("GreedyRefineLB never migrated despite storm imbalance")
+	}
+}
+
+// TestImageShape: the surrogate matches the paper's description of
+// ADCIRC (hundreds of globals, ~14 MB code).
+func TestImageShape(t *testing.T) {
+	img := adcirc.Image()
+	if img.Language != "fortran" {
+		t.Errorf("language %q", img.Language)
+	}
+	if n := len(img.MutableVars()); n < 300 {
+		t.Errorf("%d mutable globals, want hundreds", n)
+	}
+	if img.CodeSize < 14<<20 {
+		t.Errorf("code segment %d bytes, want >= 14 MiB", img.CodeSize)
+	}
+}

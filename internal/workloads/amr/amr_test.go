@@ -1,0 +1,140 @@
+package amr_test
+
+import (
+	"testing"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/lb"
+	"provirt/internal/machine"
+	"provirt/internal/workloads/amr"
+)
+
+func smallCfg() amr.Config {
+	cfg := amr.DefaultConfig()
+	cfg.BlocksX, cfg.BlocksY = 12, 12
+	cfg.Steps = 12
+	cfg.RegridEvery = 4
+	return cfg
+}
+
+func runAMR(t *testing.T, cfg amr.Config, vps, pes int, balancer lb.Strategy) (uint64, int, *ampi.World) {
+	t.Helper()
+	var updates uint64
+	maxLevel := 0
+	prog := amr.New(cfg, func(r amr.Result) {
+		updates += r.CellUpdates
+		if r.MaxLevel > maxLevel {
+			maxLevel = r.MaxLevel
+		}
+	})
+	acfg := cfg
+	_ = acfg
+	w, err := ampi.NewWorld(ampi.Config{
+		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: pes},
+		VPs:       vps,
+		Privatize: core.KindPIEglobals,
+		Balancer:  balancer,
+	}, prog)
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return updates, maxLevel, w
+}
+
+// TestWorkInvariant: total fine-cell updates are a pure function of
+// the refinement schedule, independent of decomposition or balancing.
+func TestWorkInvariant(t *testing.T) {
+	cfg := smallCfg()
+	want := amr.TotalCellUpdates(cfg)
+	if want == 0 {
+		t.Fatal("oracle zero")
+	}
+	for _, shape := range []struct{ vps, pes int }{{1, 1}, {4, 2}, {12, 4}} {
+		got, maxLevel, _ := runAMR(t, cfg, shape.vps, shape.pes, lb.GreedyRefineLB{})
+		if got != want {
+			t.Errorf("vps=%d: %d cell updates, oracle %d", shape.vps, got, want)
+		}
+		if maxLevel != cfg.MaxLevel {
+			t.Errorf("vps=%d: max level %d, want %d", shape.vps, maxLevel, cfg.MaxLevel)
+		}
+	}
+}
+
+// TestRefinementLevels: the level function respects the front and the
+// configured depth.
+func TestRefinementLevels(t *testing.T) {
+	cfg := smallCfg()
+	sawDeep, sawCoarse := false, false
+	for t2 := 0; t2 < cfg.Steps; t2++ {
+		for by := 0; by < cfg.BlocksY; by++ {
+			for bx := 0; bx < cfg.BlocksX; bx++ {
+				l := amr.Level(cfg, bx, by, t2)
+				if l < 0 || l > cfg.MaxLevel {
+					t.Fatalf("level %d out of range", l)
+				}
+				if l == cfg.MaxLevel {
+					sawDeep = true
+				}
+				if l == 0 {
+					sawCoarse = true
+				}
+			}
+		}
+	}
+	if !sawDeep || !sawCoarse {
+		t.Fatalf("degenerate refinement: deep=%v coarse=%v", sawDeep, sawCoarse)
+	}
+	// Refinement quadruples per level.
+	if amr.CellUpdates(cfg, 1) != 4*amr.CellUpdates(cfg, 0) {
+		t.Error("refinement cost ratio wrong")
+	}
+}
+
+// TestRegridBalancingHelps: with the front concentrated on a few
+// ranks' tiles, overdecomposition + GreedyRefineLB beats the static
+// baseline.
+func TestRegridBalancingHelps(t *testing.T) {
+	cfg := amr.DefaultConfig()
+	base := cfg
+	base.RegridEvery = 0
+	_, _, w0 := runAMR(t, base, 4, 4, nil)
+	_, _, w1 := runAMR(t, cfg, 32, 4, lb.GreedyRefineLB{})
+	if w1.ExecutionTime() >= w0.ExecutionTime() {
+		t.Errorf("balanced AMR (%v) not faster than static (%v), migrations=%d",
+			w1.ExecutionTime(), w0.ExecutionTime(), w1.Migrations)
+	}
+	if w1.Migrations == 0 {
+		t.Error("regrid never migrated")
+	}
+}
+
+// TestFrontCreatesImbalance: at any instant, per-rank step work is
+// strongly skewed.
+func TestFrontCreatesImbalance(t *testing.T) {
+	cfg := smallCfg()
+	const v = 6
+	t2 := cfg.Steps / 2
+	perRank := make([]uint64, v)
+	for by := 0; by < cfg.BlocksY; by++ {
+		for bx := 0; bx < cfg.BlocksX; bx++ {
+			owner := amr.OwnerOf(cfg, v, bx, by)
+			perRank[owner] += amr.CellUpdates(cfg, amr.Level(cfg, bx, by, t2))
+		}
+	}
+	var min, max uint64 = 1 << 62, 0
+	for _, u := range perRank {
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	if max < 3*min {
+		t.Errorf("front imbalance too weak: per-rank %v", perRank)
+	}
+}

@@ -1,0 +1,117 @@
+// Package synth provides small synthetic MPI programs: the paper's
+// hello-world privatization demonstrator (Fig. 2/3), an empty program
+// for startup measurements (Fig. 5), and a two-thread ping benchmark
+// for context-switch measurements (Fig. 6).
+package synth
+
+import (
+	"provirt/internal/ampi"
+	"provirt/internal/elf"
+	"provirt/internal/sim"
+)
+
+// HelloImage models the Fig. 2 C program: a mutable global my_rank, a
+// write-once global num_ranks, a mutable static call counter, and a
+// main function. Both mutable variables are tagged thread_local so the
+// image is also usable with TLSglobals.
+func HelloImage() *elf.Image {
+	return elf.NewBuilder("hello_world").
+		Language("c").
+		TaggedGlobal("my_rank", 0).
+		Const("num_ranks", 0).
+		TaggedStatic("calls", 0).
+		Func("main", 2048).
+		Func("report", 512).
+		CodeBulk(64 << 10).
+		MustBuild()
+}
+
+// HelloResult is one rank's observed output line.
+type HelloResult struct {
+	VP      int
+	Printed uint64
+}
+
+// Hello returns the Fig. 2 program. Each rank stores its rank number
+// into the global my_rank, enters a barrier, then "prints" the global's
+// value through sink. Without privatization, ranks sharing a process
+// print the last writer's rank (Fig. 3); with privatization each prints
+// its own.
+func Hello(sink func(HelloResult)) *ampi.Program {
+	return &ampi.Program{
+		Image: HelloImage(),
+		Main: func(r *ampi.Rank) {
+			ctx := r.Ctx()
+			ctx.Store("my_rank", uint64(r.Rank()))
+			ctx.Store("calls", ctx.Load("calls")+1)
+			r.Barrier()
+			sink(HelloResult{VP: r.Rank(), Printed: ctx.Load("my_rank")})
+		},
+	}
+}
+
+// EmptyImage is a minimal program image for startup measurements, with
+// a modest 3 MB code segment like the paper's Jacobi-3D binary.
+func EmptyImage() *elf.Image {
+	return elf.NewBuilder("empty").
+		Global("g0", 0).
+		Static("s0", 0).
+		Func("main", 1024).
+		CodeBulk(3 << 20).
+		DataBulk(256 << 10).
+		MustBuild()
+}
+
+// Empty returns a program whose ranks immediately synchronize and
+// exit; its job time is dominated by startup.
+func Empty() *ampi.Program {
+	return &ampi.Program{
+		Image: EmptyImage(),
+		Main: func(r *ampi.Rank) {
+			r.Barrier()
+		},
+	}
+}
+
+// PingCount is the number of context switches the Fig. 6 microbenchmark
+// performs between its two user-level threads.
+const PingCount = 100_000
+
+// Ping returns the Fig. 6 microbenchmark: two ranks on one PE that
+// yield back and forth PingCount times, so the job's scheduler switch
+// count and switch time measure per-switch overhead for the active
+// privatization method.
+func Ping() *ampi.Program {
+	return PingWithImage(EmptyImage())
+}
+
+// PingWithImage is Ping over an arbitrary program image, used to
+// verify that context-switch cost does not depend on code size or
+// global-variable count (§4.2).
+func PingWithImage(img *elf.Image) *ampi.Program {
+	return &ampi.Program{
+		Image: img,
+		Main: func(r *ampi.Rank) {
+			for i := 0; i < PingCount/2; i++ {
+				r.Yield()
+			}
+		},
+	}
+}
+
+// ComputeBound returns a program where each rank computes for the
+// given virtual duration, yielding periodically; used by scheduler and
+// load-balance tests.
+func ComputeBound(perRank []sim.Time, chunks int) *ampi.Program {
+	return &ampi.Program{
+		Image: EmptyImage(),
+		Main: func(r *ampi.Rank) {
+			total := perRank[r.Rank()%len(perRank)]
+			for i := 0; i < chunks; i++ {
+				r.Compute(total / sim.Time(chunks))
+				r.Yield()
+			}
+			r.Barrier()
+		},
+	}
+}
