@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: all build test bench race
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Benchmarks for every table/figure plus the engine and MPI hot paths.
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# The sweep runner and the per-world pools are the only code that runs
+# under parallelism; race-check the packages that exercise them.
+race:
+	$(GO) test -race ./internal/harness/... ./internal/ampi/...

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -28,12 +30,51 @@ func main() {
 		"which experiment to run: all, tables, fig5, fig6, fig7, fig8, icache, table2, fig9")
 	nodes := flag.Int("nodes", 1, "node count for fig5")
 	coresFlag := flag.String("cores", "1,2,4,8,16,32,64", "core counts for table2/fig9")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for experiment sweeps; each simulation stays single-threaded and seeded, so output is identical at any setting (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	cores, err := parseInts(*coresFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "privbench: bad -cores: %v\n", err)
 		os.Exit(2)
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "privbench: -parallel must be >= 1, got %d\n", *parallel)
+		os.Exit(2)
+	}
+	harness.Parallelism = *parallel
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "privbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "privbench: start cpu profile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "privbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "privbench: write heap profile: %v\n", err)
+			}
+		}()
 	}
 
 	run := func(name string, fn func() error) {

@@ -1,0 +1,88 @@
+package ampi_test
+
+import (
+	"testing"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/machine"
+	"provirt/internal/workloads/synth"
+)
+
+// BenchmarkAmpiPingPong measures the point-to-point hot path: one
+// round trip of a small payload between two ranks on one PE per
+// iteration. Allocation counts pin the effect of the pooled event
+// nodes, message envelopes, and payload buffers.
+func BenchmarkAmpiPingPong(b *testing.B) {
+	prog := &ampi.Program{
+		Image: synth.EmptyImage(),
+		Main: func(r *ampi.Rank) {
+			payload := []float64{1, 2, 3, 4}
+			if r.Rank() == 0 {
+				for i := 0; i < b.N; i++ {
+					r.Send(1, 7, payload, 0)
+					r.Recv(1, 8)
+				}
+			} else {
+				for i := 0; i < b.N; i++ {
+					r.Recv(0, 7)
+					r.Send(0, 8, payload, 0)
+				}
+			}
+		},
+	}
+	w, err := ampi.NewWorld(ampi.Config{
+		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 1},
+		VPs:       2,
+		Privatize: core.KindPIEglobals,
+	}, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := w.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAmpiManyPending stresses message matching with a deep
+// unexpected-message queue: rank 0 receives in the reverse of arrival
+// order, so every receive under the old linear scan walked the whole
+// mailbox.
+func BenchmarkAmpiManyPending(b *testing.B) {
+	const pending = 256
+	prog := &ampi.Program{
+		Image: synth.EmptyImage(),
+		Main: func(r *ampi.Rank) {
+			if r.Rank() == 1 {
+				for i := 0; i < b.N; i++ {
+					for tag := 0; tag < pending; tag++ {
+						r.Send(0, tag, nil, 8)
+					}
+					r.Recv(0, 0) // round-trip gate, keeps queues bounded
+				}
+				return
+			}
+			for i := 0; i < b.N; i++ {
+				for tag := pending - 1; tag >= 0; tag-- {
+					r.Recv(1, tag)
+				}
+				r.Send(1, 0, nil, 8)
+			}
+		},
+	}
+	w, err := ampi.NewWorld(ampi.Config{
+		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 1},
+		VPs:       2,
+		Privatize: core.KindPIEglobals,
+	}, prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := w.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -114,22 +114,31 @@ func (c *Comm) Bcast(root int, data []float64, bytes uint64) []float64 {
 	for _, ch := range children {
 		c.sendColl(abs(ch, root, size), tag, buf, bytes)
 	}
-	return append([]float64(nil), buf...)
+	out := append([]float64(nil), buf...)
+	if rel != 0 {
+		// The relay buffer was this hop's message payload; sends have
+		// copied it onward, so it can be recycled.
+		c.r.world.putBuf(buf)
+	}
+	return out
 }
 
 // Reduce combines contributions at the comm rank root.
 func (c *Comm) Reduce(root int, data []float64, op *Op) []float64 {
 	size := c.Size()
 	tag := c.nextCollTag()
-	acc := append([]float64(nil), data...)
+	w := c.r.world
+	acc := w.copyBuf(data)
 	rel := (c.myRank - root + size) % size
 	parent, children := binomialParentChildren(rel, size)
 	for i := len(children) - 1; i >= 0; i-- {
 		part := c.recvColl(abs(children[i], root, size), tag)
-		acc = c.r.world.applyOp(op, c.r, part, acc)
+		acc = w.applyOp(op, c.r, part, acc)
+		w.releaseAfterOp(op, part)
 	}
 	if rel != 0 {
 		c.sendColl(abs(parent, root, size), tag, acc, 0)
+		w.releaseAfterOp(op, acc)
 		return nil
 	}
 	return acc
@@ -138,7 +147,13 @@ func (c *Comm) Reduce(root int, data []float64, op *Op) []float64 {
 // Allreduce reduces then broadcasts.
 func (c *Comm) Allreduce(data []float64, op *Op) []float64 {
 	acc := c.Reduce(0, data, op)
-	return c.Bcast(0, acc, 0)
+	out := c.Bcast(0, acc, 0)
+	if acc != nil {
+		// Only the root holds a reduction result here, and Bcast has
+		// copied it into the outgoing payloads and out.
+		c.r.world.releaseAfterOp(op, acc)
+	}
+	return out
 }
 
 // Gather collects fixed-size contributions at the comm rank root.
@@ -242,6 +257,7 @@ func (c *Comm) Scan(data []float64, op *Op) []float64 {
 	if c.myRank > 0 {
 		prev := c.recvColl(c.myRank-1, tag)
 		acc = c.r.world.applyOp(op, c.r, prev, acc)
+		c.r.world.releaseAfterOp(op, prev)
 	}
 	if c.myRank < size-1 {
 		c.sendColl(c.myRank+1, tag, acc, 0)
@@ -259,11 +275,12 @@ func (c *Comm) Exscan(data []float64, op *Op) []float64 {
 		acc = c.recvColl(c.myRank-1, tag)
 	}
 	if c.myRank < size-1 {
-		fwd := append([]float64(nil), data...)
+		fwd := c.r.world.copyBuf(data)
 		if acc != nil {
 			fwd = c.r.world.applyOp(op, c.r, acc, fwd)
 		}
 		c.sendColl(c.myRank+1, tag, fwd, 0)
+		c.r.world.releaseAfterOp(op, fwd)
 	}
 	return acc
 }
@@ -369,14 +386,10 @@ func (r *Rank) sendInternalComm(dstWorld, tag, comm int, data []float64, bytes u
 
 func (r *Rank) irecvComm(srcWorld, tag, comm int, internal bool) *Request {
 	q := &Request{rank: r, src: srcWorld, tag: tag, comm: comm, recv: true, internal: internal}
-	for i, m := range r.mailbox {
-		if match(q, m) {
-			r.mailbox = append(r.mailbox[:i], r.mailbox[i+1:]...)
-			q.msg = m
-			q.done = true
-			return q
-		}
+	if m := r.mailbox.take(q); m != nil {
+		r.complete(q, m)
+		return q
 	}
-	r.waits = append(r.waits, q)
+	r.waits.add(q)
 	return q
 }

@@ -1,0 +1,77 @@
+package ampi
+
+// Per-world scratch pools. A collective moves its payload hop by hop
+// through the reduction/broadcast tree, and every hop used to copy the
+// slice with append([]float64(nil), ...) — one allocation per hop per
+// rank, dominating the allocation profile of Allreduce-heavy runs.
+// The world instead keeps a free list of scratch buffers: hop copies
+// are taken from the pool and returned as soon as the hop hands the
+// data on. Buffers that escape to user code (a Recv payload, a root's
+// reduction result) are simply never returned — the pool only ever
+// holds slices the runtime exclusively owns. The same discipline
+// recycles message envelopes.
+//
+// The pools are per-world and the whole world runs on one engine
+// thread, so no locking is needed; independent worlds running on
+// separate goroutines (the sweep runner) never share a pool.
+
+// getBuf returns a zero-length buffer with capacity at least n.
+func (w *World) getBuf(n int) []float64 {
+	if last := len(w.bufFree) - 1; last >= 0 {
+		b := w.bufFree[last]
+		w.bufFree[last] = nil
+		w.bufFree = w.bufFree[:last]
+		if cap(b) >= n {
+			return b[:0]
+		}
+		// Too small for this request; let it go rather than hold
+		// undersized buffers forever.
+	}
+	return make([]float64, 0, n)
+}
+
+// putBuf returns a buffer to the pool. The caller must not touch b
+// afterwards.
+func (w *World) putBuf(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	w.bufFree = append(w.bufFree, b[:0])
+}
+
+// copyBuf is the pooled equivalent of append([]float64(nil), src...):
+// it preserves nil-ness for empty inputs (barrier payloads stay nil).
+func (w *World) copyBuf(src []float64) []float64 {
+	if len(src) == 0 {
+		return nil
+	}
+	return append(w.getBuf(len(src)), src...)
+}
+
+// releaseAfterOp returns a reduction scratch buffer to the pool when
+// the operator cannot have retained it. Built-in operators are
+// elementwise and never alias their input; user-defined functions make
+// no such promise, so their buffers are left to the garbage collector.
+func (w *World) releaseAfterOp(op *Op, b []float64) {
+	if op.builtin {
+		w.putBuf(b)
+	}
+}
+
+// getMsg returns a zeroed message envelope.
+func (w *World) getMsg() *message {
+	if last := len(w.msgFree) - 1; last >= 0 {
+		m := w.msgFree[last]
+		w.msgFree[last] = nil
+		w.msgFree = w.msgFree[:last]
+		return m
+	}
+	return &message{}
+}
+
+// putMsg recycles a message envelope once matching handed its payload
+// to the request.
+func (w *World) putMsg(m *message) {
+	*m = message{}
+	w.msgFree = append(w.msgFree, m)
+}

@@ -15,14 +15,18 @@ const (
 	AnyTag    = -1
 )
 
-// message is one point-to-point payload in flight or queued.
+// message is one point-to-point payload in flight or queued. Envelopes
+// are pooled per world: once matching hands the payload to a request,
+// the envelope is recycled.
 type message struct {
 	src      int // world rank
 	tag      int
 	comm     int // communicator id (WorldComm for rank-level ops)
 	bytes    uint64
 	data     []float64
-	internal bool // collective plumbing; never matches user wildcards
+	internal bool   // collective plumbing; never matches user wildcards
+	dst      *Rank  // receiver, so delivery events need no closure
+	seq      uint64 // arrival order within the receiver's mailbox
 }
 
 // Request is a nonblocking-operation handle.
@@ -33,8 +37,12 @@ type Request struct {
 	internal bool
 	recv     bool
 	done     bool
-	msg      *message
-	blocked  bool // owner thread suspended in Wait on this request
+	blocked  bool   // owner thread suspended in Wait on this request
+	seq      uint64 // posting order within the rank's receive queue
+	// Completion record, copied out of the matched message so its
+	// envelope can be recycled immediately.
+	data           []float64
+	gotSrc, gotTag int
 }
 
 // Done reports whether the operation has completed.
@@ -53,8 +61,8 @@ type Rank struct {
 	// schedulers.
 	pe *machine.PE
 
-	mailbox []*message // unexpected messages, FIFO
-	waits   []*Request // posted receive requests, FIFO
+	mailbox msgStore // unexpected messages, hash-indexed, FIFO
+	waits   reqStore // posted receive requests, hash-indexed, FIFO
 
 	// world0 caches MPI_COMM_WORLD for the rank-level collectives.
 	world0 *Comm
@@ -125,44 +133,44 @@ func (r *Rank) sendMsg(dst, tag, comm int, data []float64, bytes uint64, interna
 	dstRank := w.Ranks[dst]
 	var payload []float64
 	if data != nil {
-		payload = append([]float64(nil), data...)
+		payload = w.copyBuf(data)
 	}
-	m := &message{src: r.vp, tag: tag, comm: comm, bytes: bytes, data: payload, internal: internal}
+	m := w.getMsg()
+	m.src, m.tag, m.comm, m.bytes, m.data, m.internal, m.dst =
+		r.vp, tag, comm, bytes, payload, internal, dstRank
 	arrive := r.thread.Now() + w.Cluster.TransferTime(r.PE(), dstRank.PE(), bytes)
-	w.Cluster.Engine.At(arrive, func() { dstRank.deliver(m) })
+	w.Cluster.Engine.AtCall(arrive, deliverMsg, m)
 }
 
-// match reports whether a posted request accepts a message.
-func match(q *Request, m *message) bool {
-	if q.internal != m.internal || q.comm != m.comm {
-		return false
-	}
-	if q.src != AnySource && q.src != m.src {
-		return false
-	}
-	if q.tag != AnyTag && q.tag != m.tag {
-		return false
-	}
-	return true
+// deliverMsg is the shared delivery trampoline: the message itself
+// carries its destination, so scheduling a delivery allocates neither
+// a closure nor an event node (both are pooled).
+func deliverMsg(x any) {
+	m := x.(*message)
+	m.dst.deliver(m)
+}
+
+// complete hands a matched message's payload to the request and
+// recycles the envelope.
+func (r *Rank) complete(q *Request, m *message) {
+	q.data, q.gotSrc, q.gotTag = m.data, m.src, m.tag
+	q.done = true
+	r.world.putMsg(m)
 }
 
 // deliver lands a message at the rank (runs as an engine event). A
 // matching posted receive completes; otherwise the message queues as
 // unexpected.
 func (r *Rank) deliver(m *message) {
-	for i, q := range r.waits {
-		if match(q, m) {
-			r.waits = append(r.waits[:i], r.waits[i+1:]...)
-			q.msg = m
-			q.done = true
-			if q.blocked {
-				q.blocked = false
-				r.thread.Wake()
-			}
-			return
+	if q := r.waits.match(m); q != nil {
+		r.complete(q, m)
+		if q.blocked {
+			q.blocked = false
+			r.thread.Wake()
 		}
+		return
 	}
-	r.mailbox = append(r.mailbox, m)
+	r.mailbox.add(m)
 }
 
 // Irecv posts a nonblocking receive.
@@ -196,10 +204,7 @@ func (r *Rank) Wait(q *Request) []float64 {
 		}
 	}
 	r.thread.Advance(r.world.Cluster.Cost.MsgRecvOverhead)
-	if q.msg != nil {
-		return q.msg.data
-	}
-	return nil
+	return q.data
 }
 
 // Waitall completes all requests, returning payloads in request order.
@@ -221,7 +226,7 @@ func (r *Rank) Recv(src, tag int) []float64 {
 func (r *Rank) RecvMsg(src, tag int) (data []float64, from, msgTag int) {
 	q := r.Irecv(src, tag)
 	data = r.Wait(q)
-	return data, q.msg.src, q.msg.tag
+	return data, q.gotSrc, q.gotTag
 }
 
 // Sendrecv performs a combined send and receive without deadlock.
@@ -234,11 +239,5 @@ func (r *Rank) Sendrecv(dst, sendTag int, data []float64, bytes uint64, src, rec
 // Probe reports whether a matching message is queued, without
 // consuming it.
 func (r *Rank) Probe(src, tag int) bool {
-	q := &Request{src: src, tag: tag}
-	for _, m := range r.mailbox {
-		if match(q, m) {
-			return true
-		}
-	}
-	return false
+	return r.mailbox.probe(&Request{src: src, tag: tag})
 }

@@ -109,6 +109,10 @@ type World struct {
 	ckptWaiting    []*Rank
 	lastCheckpoint *Checkpoint
 	runtimeErr     error
+
+	// Scratch pools (see pool.go). Per-world, engine-thread-only.
+	bufFree [][]float64
+	msgFree []*message
 }
 
 // NewWorld builds the cluster, runs privatization setup on every

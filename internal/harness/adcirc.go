@@ -66,19 +66,51 @@ func AdcircScaling(cfg adcirc.Config, cores []int) ([]AdcircRow, *trace.Table, *
 	if cores == nil {
 		cores = Table2Cores()
 	}
-	var rows []AdcircRow
+	// Flatten the (cores x ratio) grid — one baseline plus each
+	// virtualization ratio per core count — into independent jobs and
+	// fan them across the sweep runner. Each job builds its own world
+	// and engine; rows are assembled serially afterwards, so the output
+	// is bit-identical to the serial loop this replaces.
+	ratios := AdcircRatios()
+	stride := 1 + len(ratios)
+	type job struct {
+		cores, ratio int
+		balanced     bool
+	}
+	jobs := make([]job, 0, len(cores)*stride)
 	for _, c := range cores {
-		base, err := runAdcirc(cfg, c, c, nil)
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("adcirc baseline cores=%d: %w", c, err)
+		jobs = append(jobs, job{cores: c, ratio: 1})
+		for _, ratio := range ratios {
+			jobs = append(jobs, job{cores: c, ratio: ratio, balanced: true})
 		}
+	}
+	times := make([]sim.Time, len(jobs))
+	err := runner().Run(len(jobs), func(i int) error {
+		j := jobs[i]
+		var bal lb.Strategy
+		if j.balanced {
+			bal = lb.GreedyRefineLB{}
+		}
+		tt, err := runAdcirc(cfg, j.cores, j.cores*j.ratio, bal)
+		if err != nil {
+			if !j.balanced {
+				return fmt.Errorf("adcirc baseline cores=%d: %w", j.cores, err)
+			}
+			return fmt.Errorf("adcirc cores=%d ratio=%d: %w", j.cores, j.ratio, err)
+		}
+		times[i] = tt
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var rows []AdcircRow
+	for ci, c := range cores {
+		base := times[ci*stride]
 		row := AdcircRow{Cores: c, Baseline: base, Best: base, BestRatio: 1}
 		row.Points = append(row.Points, AdcircPoint{Cores: c, Ratio: 1, LB: false, Time: base})
-		for _, ratio := range AdcircRatios() {
-			tt, err := runAdcirc(cfg, c, c*ratio, lb.GreedyRefineLB{})
-			if err != nil {
-				return nil, nil, nil, fmt.Errorf("adcirc cores=%d ratio=%d: %w", c, ratio, err)
-			}
+		for ri, ratio := range ratios {
+			tt := times[ci*stride+1+ri]
 			row.Points = append(row.Points, AdcircPoint{Cores: c, Ratio: ratio, LB: true, Time: tt})
 			if tt < row.Best {
 				row.Best = tt

@@ -1,0 +1,76 @@
+package harness_test
+
+import (
+	"fmt"
+	"testing"
+
+	"provirt/internal/harness"
+	"provirt/internal/workloads/adcirc"
+)
+
+// The sweep runner parallelizes experiments by running independent
+// worlds on worker goroutines; every world is single-threaded and
+// seeded, so the rendered rows and tables must be byte-identical to
+// serial execution. These tests pin that contract for the Fig. 5
+// startup sweep and the Table 2 / Fig. 9 ADCIRC sweep.
+
+func withParallelism(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := harness.Parallelism
+	harness.Parallelism = n
+	defer func() { harness.Parallelism = old }()
+	f()
+}
+
+func TestFig5ParallelSweepIsDeterministic(t *testing.T) {
+	var serialRows, parallelRows string
+	var serialTbl, parallelTbl string
+	withParallelism(t, 1, func() {
+		rows, tbl, err := harness.Fig5Startup(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialRows, serialTbl = fmt.Sprintf("%#v", rows), tbl.String()
+	})
+	withParallelism(t, 4, func() {
+		rows, tbl, err := harness.Fig5Startup(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallelRows, parallelTbl = fmt.Sprintf("%#v", rows), tbl.String()
+	})
+	if serialRows != parallelRows {
+		t.Errorf("fig5 rows diverge between serial and parallel sweeps:\nserial:   %s\nparallel: %s", serialRows, parallelRows)
+	}
+	if serialTbl != parallelTbl {
+		t.Errorf("fig5 table diverges between serial and parallel sweeps:\nserial:\n%s\nparallel:\n%s", serialTbl, parallelTbl)
+	}
+}
+
+func TestFig9ParallelSweepIsDeterministic(t *testing.T) {
+	cfg := adcirc.DefaultConfig()
+	cfg.Width, cfg.Height, cfg.Steps, cfg.LBPeriod = 96, 128, 8, 4
+	cores := []int{1, 2, 4}
+
+	run := func() (rows string, t2 string, f9 string) {
+		r, tbl2, tbl9, err := harness.AdcircScaling(cfg, cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%#v", r), tbl2.String(), tbl9.String()
+	}
+	var sRows, sT2, sF9 string
+	withParallelism(t, 1, func() { sRows, sT2, sF9 = run() })
+	var pRows, pT2, pF9 string
+	withParallelism(t, 4, func() { pRows, pT2, pF9 = run() })
+
+	if sRows != pRows {
+		t.Errorf("adcirc rows diverge between serial and parallel sweeps:\nserial:   %s\nparallel: %s", sRows, pRows)
+	}
+	if sT2 != pT2 {
+		t.Errorf("table 2 diverges:\nserial:\n%s\nparallel:\n%s", sT2, pT2)
+	}
+	if sF9 != pF9 {
+		t.Errorf("figure 9 diverges:\nserial:\n%s\nparallel:\n%s", sF9, pF9)
+	}
+}

@@ -28,9 +28,10 @@ func Fig5Startup(nodes int) ([]Fig5Row, *trace.Table, error) {
 	if nodes <= 0 {
 		nodes = 1
 	}
-	var rows []Fig5Row
-	var baseline sim.Time
-	for _, kind := range Fig5Methods() {
+	methods := Fig5Methods()
+	rows := make([]Fig5Row, len(methods))
+	err := runner().Run(len(methods), func(i int) error {
+		kind := methods[i]
 		tc, osEnv := envFor(kind, 8)
 		cfg := ampi.Config{
 			Machine:   machineShape(nodes, 1, 1),
@@ -41,16 +42,24 @@ func Fig5Startup(nodes int) ([]Fig5Row, *trace.Table, error) {
 		}
 		w, err := runWorld(cfg, synth.Empty())
 		if err != nil {
-			return nil, nil, fmt.Errorf("fig5 %s: %w", kind, err)
+			return fmt.Errorf("fig5 %s: %w", kind, err)
 		}
-		row := Fig5Row{Method: kind, Startup: w.SetupDone}
-		if kind == core.KindNone {
-			baseline = w.SetupDone
+		rows[i] = Fig5Row{Method: kind, Startup: w.SetupDone}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Baseline normalization is a serial post-pass so parallel and
+	// serial sweeps produce identical rows.
+	var baseline sim.Time
+	for i := range rows {
+		if rows[i].Method == core.KindNone {
+			baseline = rows[i].Startup
 		}
 		if baseline > 0 {
-			row.VsBaseline = float64(row.Startup) / float64(baseline)
+			rows[i].VsBaseline = float64(rows[i].Startup) / float64(baseline)
 		}
-		rows = append(rows, row)
 	}
 	t := trace.NewTable(
 		fmt.Sprintf("Figure 5: startup overhead, 8x virtualization, %d node(s) (lower is better)", nodes),
@@ -75,12 +84,17 @@ func Fig5Scaling(nodeCounts []int) (*trace.Table, error) {
 		headers = append(headers, fmt.Sprintf("%d node(s)", n))
 	}
 	t := trace.NewTable("Figure 5 (scaling): startup vs node count, 8x virtualization", headers...)
+	perNode := make([][]Fig5Row, len(nodeCounts))
+	err := runner().Run(len(nodeCounts), func(i int) error {
+		rows, _, err := Fig5Startup(nodeCounts[i])
+		perNode[i] = rows
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	cells := make(map[core.Kind][]string, len(methods))
-	for _, n := range nodeCounts {
-		rows, _, err := Fig5Startup(n)
-		if err != nil {
-			return nil, err
-		}
+	for _, rows := range perNode {
 		for _, r := range rows {
 			cells[r.Method] = append(cells[r.Method], trace.FormatDuration(r.Startup))
 		}

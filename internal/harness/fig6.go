@@ -34,9 +34,10 @@ func Fig6Methods() []core.Kind {
 // Fig6ContextSwitch runs the two-ULT ping microbenchmark (100,000
 // switches) for each method and reports mean switch time (Fig. 6).
 func Fig6ContextSwitch() ([]Fig6Row, *trace.Table, error) {
-	var rows []Fig6Row
-	var baseline sim.Time
-	for _, kind := range Fig6Methods() {
+	methods := Fig6Methods()
+	rows := make([]Fig6Row, len(methods))
+	err := runner().Run(len(methods), func(i int) error {
+		kind := methods[i]
 		tc, osEnv := envFor(kind, 2)
 		cfg := ampi.Config{
 			Machine:   machineShape(1, 1, 1),
@@ -47,19 +48,25 @@ func Fig6ContextSwitch() ([]Fig6Row, *trace.Table, error) {
 		}
 		w, err := runWorld(cfg, synth.Ping())
 		if err != nil {
-			return nil, nil, fmt.Errorf("fig6 %s: %w", kind, err)
+			return fmt.Errorf("fig6 %s: %w", kind, err)
 		}
 		s := w.Scheds()[0]
 		if s.Switches() == 0 {
-			return nil, nil, fmt.Errorf("fig6 %s: no context switches recorded", kind)
+			return fmt.Errorf("fig6 %s: no context switches recorded", kind)
 		}
 		per := s.SwitchTime() / sim.Time(s.Switches())
-		row := Fig6Row{Method: kind, Switches: s.Switches(), PerSwitch: per}
-		if kind == core.KindNone {
-			baseline = per
+		rows[i] = Fig6Row{Method: kind, Switches: s.Switches(), PerSwitch: per}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var baseline sim.Time
+	for i := range rows {
+		if rows[i].Method == core.KindNone {
+			baseline = rows[i].PerSwitch
 		}
-		row.OverBaseline = per - baseline
-		rows = append(rows, row)
+		rows[i].OverBaseline = rows[i].PerSwitch - baseline
 	}
 	t := trace.NewTable("Figure 6: ULT context switch time (lower is better)",
 		"Method", "Switches", "ns/switch", "over baseline")

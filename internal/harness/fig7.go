@@ -34,9 +34,10 @@ func Fig7Methods() []core.Kind {
 // the paper's experimental intent.
 func Fig7JacobiAccess() ([]Fig7Row, *trace.Table, error) {
 	cfg := jacobi.Config{NX: 32, NY: 32, NZ: 32, Iters: 20, AccessesPerCell: 6, FlopsPerCell: 8}
-	var rows []Fig7Row
-	var baseline sim.Time
-	for _, kind := range Fig7Methods() {
+	methods := Fig7Methods()
+	rows := make([]Fig7Row, len(methods))
+	err := runner().Run(len(methods), func(i int) error {
+		kind := methods[i]
 		tc, osEnv := envFor(kind, 1)
 		wcfg := ampi.Config{
 			Machine:   machineShape(1, 1, 4),
@@ -47,16 +48,22 @@ func Fig7JacobiAccess() ([]Fig7Row, *trace.Table, error) {
 		}
 		w, err := runWorld(wcfg, jacobi.New(cfg, nil))
 		if err != nil {
-			return nil, nil, fmt.Errorf("fig7 %s: %w", kind, err)
+			return fmt.Errorf("fig7 %s: %w", kind, err)
 		}
-		row := Fig7Row{Method: kind, Time: w.ExecutionTime()}
-		if kind == core.KindNone {
-			baseline = row.Time
+		rows[i] = Fig7Row{Method: kind, Time: w.ExecutionTime()}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var baseline sim.Time
+	for i := range rows {
+		if rows[i].Method == core.KindNone {
+			baseline = rows[i].Time
 		}
 		if baseline > 0 {
-			row.VsBaseline = float64(row.Time) / float64(baseline)
+			rows[i].VsBaseline = float64(rows[i].Time) / float64(baseline)
 		}
-		rows = append(rows, row)
 	}
 	t := trace.NewTable("Figure 7: Jacobi-3D execution time, privatized inner-loop variables (lower is better)",
 		"Method", "Execution time", "vs baseline")

@@ -62,17 +62,30 @@ func Fig8Migration() ([]Fig8Row, *trace.Table, error) {
 		return recs[0].Duration, recs[0].Bytes, nil
 	}
 
+	// Flatten the (heap size x method) grid into independent jobs.
+	heaps := Fig8HeapSizes()
+	kinds := []core.Kind{core.KindTLSglobals, core.KindPIEglobals}
+	times := make([]sim.Time, len(heaps)*len(kinds))
+	bytes := make([]uint64, len(heaps)*len(kinds))
+	err := runner().Run(len(times), func(i int) error {
+		heap, kind := heaps[i/len(kinds)], kinds[i%len(kinds)]
+		t, b, err := measure(kind, heap)
+		if err != nil {
+			return fmt.Errorf("fig8 %s heap=%d: %w", kind, heap, err)
+		}
+		times[i], bytes[i] = t, b
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []Fig8Row
-	for _, heap := range Fig8HeapSizes() {
-		tlsT, tlsB, err := measure(core.KindTLSglobals, heap)
-		if err != nil {
-			return nil, nil, fmt.Errorf("fig8 tlsglobals heap=%d: %w", heap, err)
-		}
-		pieT, pieB, err := measure(core.KindPIEglobals, heap)
-		if err != nil {
-			return nil, nil, fmt.Errorf("fig8 pieglobals heap=%d: %w", heap, err)
-		}
-		rows = append(rows, Fig8Row{HeapBytes: heap, TLSTime: tlsT, PIETime: pieT, TLSBytes: tlsB, PIEBytes: pieB})
+	for i, heap := range heaps {
+		rows = append(rows, Fig8Row{
+			HeapBytes: heap,
+			TLSTime:   times[i*2], PIETime: times[i*2+1],
+			TLSBytes: bytes[i*2], PIEBytes: bytes[i*2+1],
+		})
 	}
 	t := trace.NewTable("Figure 8: migration time vs per-rank heap size (lower is better)",
 		"Heap", "TLSglobals", "PIEglobals", "PIE/TLS", "PIE extra bytes")

@@ -6,12 +6,26 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"provirt/internal/ampi"
 	"provirt/internal/core"
+	"provirt/internal/harness/sweep"
 	"provirt/internal/machine"
 	"provirt/internal/trace"
 )
+
+// Parallelism controls how many independent simulations the sweep
+// experiments (Fig5Startup, Fig5Scaling, Fig6ContextSwitch,
+// Fig7JacobiAccess, Fig8Migration, AdcircScaling) run concurrently.
+// Every simulation is single-threaded and a pure function of its
+// configuration, and result assembly is a serial post-pass, so rows and
+// tables are bit-identical at any setting; 1 forces serial execution.
+// The default uses every available core.
+var Parallelism = runtime.GOMAXPROCS(0)
+
+// runner returns the sweep runner the experiments fan out with.
+func runner() sweep.Runner { return sweep.Runner{Workers: Parallelism} }
 
 // Fig5Methods are the privatization methods the startup experiment
 // compares (baseline plus AMPI's existing TLSglobals plus the paper's

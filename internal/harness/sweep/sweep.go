@@ -1,0 +1,78 @@
+// Package sweep fans independent simulation runs across worker
+// goroutines.
+//
+// Every experiment in the harness regenerates its figure or table from
+// many *independent* simulations: one world per (method, node count) or
+// (core count, virtualization ratio) point, each with its own engine,
+// cluster, and seed. A run never shares mutable state with another, so
+// the sweep can execute them concurrently and still produce bit-for-bit
+// the rows a serial loop would: each task writes only its own
+// caller-owned slot, result assembly happens after Run returns, and
+// error selection is position-stable. Determinism therefore comes from
+// the engine (each run is a pure function of its config), not from the
+// execution order of the sweep.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner executes independent tasks with bounded parallelism.
+type Runner struct {
+	// Workers is the maximum number of concurrent tasks. Values <= 1
+	// run the sweep serially on the calling goroutine.
+	Workers int
+}
+
+// Default returns a runner sized to the machine.
+func Default() Runner {
+	return Runner{Workers: runtime.GOMAXPROCS(0)}
+}
+
+// Run executes task(0..n-1). Each task must be independent of the
+// others and confine its writes to caller-owned state indexed by its
+// own i (e.g. results[i]). All tasks run to completion even if some
+// fail; Run returns the error of the lowest-indexed failed task, so
+// the reported error does not depend on scheduling order.
+func (r Runner) Run(n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := r.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = task(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

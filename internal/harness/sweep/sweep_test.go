@@ -1,0 +1,83 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunFillsEverySlot(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		out := make([]int, 100)
+		err := Runner{Workers: workers}.Run(len(out), func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	want := errors.New("task 3")
+	err := Runner{Workers: 8}.Run(10, func(i int) error {
+		if i == 3 {
+			return want
+		}
+		if i == 7 {
+			return fmt.Errorf("task 7")
+		}
+		return nil
+	})
+	if err != want {
+		t.Fatalf("got %v, want the lowest-indexed error", err)
+	}
+}
+
+func TestRunAllTasksRunDespiteErrors(t *testing.T) {
+	var ran atomic.Int64
+	_ = Runner{Workers: 4}.Run(20, func(i int) error {
+		ran.Add(1)
+		return errors.New("boom")
+	})
+	if ran.Load() != 20 {
+		t.Fatalf("%d tasks ran, want 20", ran.Load())
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	if err := (Runner{Workers: 4}).Run(0, func(i int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunActuallyParallel(t *testing.T) {
+	// With 4 workers and 4 tasks that each wait for all 4 to start,
+	// completion proves concurrent execution.
+	const n = 4
+	start := make(chan struct{})
+	var started atomic.Int64
+	err := Runner{Workers: n}.Run(n, func(i int) error {
+		if started.Add(1) == n {
+			close(start)
+		}
+		<-start
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultSizedToMachine(t *testing.T) {
+	if Default().Workers < 1 {
+		t.Fatalf("Default().Workers = %d", Default().Workers)
+	}
+}

@@ -4,10 +4,16 @@
 // clock, never measured from the host. A simulation run is therefore a pure
 // function of its configuration and seed, and every experiment in the paper
 // reproduces bit-for-bit.
+//
+// The engine is built for wall-clock speed: the pending queue is a 4-ary
+// min-heap with inlined sift operations (shallower than a binary heap, so
+// fewer comparisons per pop on the deep queues collectives build), event
+// nodes are recycled through a free list so steady-state scheduling does
+// not allocate, and AtCall schedules a (func, arg) pair without forcing the
+// caller to allocate a capturing closure.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -18,60 +24,65 @@ import (
 // library's unit constants (time.Nanosecond etc.).
 type Time = time.Duration
 
-// Event is a scheduled callback. Events with equal timestamps fire in the
-// order they were scheduled, which keeps runs deterministic.
-type Event struct {
+// node is the pooled representation of one scheduled callback. Exactly one
+// of fn and call is set.
+type node struct {
 	at   Time
 	seq  uint64
 	fn   func()
+	call func(any)
+	arg  any
+	gen  uint64
 	dead bool
-	idx  int
+	eng  *Engine
+}
+
+// Event is a handle to a scheduled callback. It is a small value, cheap to
+// copy and to discard. Events with equal timestamps fire in the order they
+// were scheduled, which keeps runs deterministic.
+type Event struct {
+	n   *node
+	gen uint64
+	at  Time
 }
 
 // Time reports when the event fires.
-func (e *Event) Time() Time { return e.at }
+func (e Event) Time() Time { return e.at }
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired is a no-op.
-func (e *Event) Cancel() { e.dead = true }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// already fired (or cancelling twice) is a no-op: the generation stamp in
+// the handle detects that the underlying node has been recycled.
+func (e Event) Cancel() {
+	n := e.n
+	if n == nil || n.gen != e.gen || n.dead {
+		return
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	n.dead = true
+	eng := n.eng
+	eng.live--
+	eng.dead++
+	// Dead nodes stay resident until popped; once they outnumber the live
+	// ones, compact so mass-cancellation workloads don't hold memory (and
+	// heap depth) indefinitely. Each compaction removes more than half the
+	// queue, so the cost amortizes to O(1) per cancel.
+	if eng.dead*2 > len(eng.queue) {
+		eng.compact()
+	}
 }
 
 // Engine owns the virtual clock and the pending event queue.
 //
 // The engine is not safe for concurrent use; the whole simulation runs on a
 // single logical thread (rank user-level threads hand control back and forth
-// with the engine through package ult).
+// with the engine through package ult). Independent engines are fully
+// isolated and may run on distinct goroutines.
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  eventQueue
+	queue  []*node
+	live   int // undead events resident in queue
+	dead   int // cancelled events resident in queue
+	free   []*node
 	fired  uint64
 	halted bool
 }
@@ -87,25 +98,157 @@ func (e *Engine) Now() Time { return e.now }
 // EventsFired reports how many events have been processed so far.
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
+// alloc takes a node from the free list, or makes one.
+func (e *Engine) alloc() *node {
+	if n := len(e.free); n > 0 {
+		nd := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return nd
+	}
+	return &node{eng: e}
+}
+
+// release recycles a node, bumping its generation so outstanding Event
+// handles become inert.
+func (e *Engine) release(nd *node) {
+	nd.gen++
+	nd.fn = nil
+	nd.call = nil
+	nd.arg = nil
+	nd.dead = false
+	e.free = append(e.free, nd)
+}
+
+// push appends a prepared node and restores the heap invariant.
+func (e *Engine) push(nd *node) Event {
+	e.live++
+	e.queue = append(e.queue, nd)
+	e.siftUp(len(e.queue) - 1)
+	return Event{n: nd, gen: nd.gen, at: nd.at}
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it indicates a bug in a cost model, and silently clamping would
 // mask causality violations.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	nd := e.alloc()
+	nd.at, nd.seq, nd.fn = t, e.seq, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	return e.push(nd)
+}
+
+// AtCall schedules call(arg) at absolute virtual time t. It is the
+// allocation-free variant of At for hot paths: the caller passes a shared
+// function value and threads its state through arg instead of capturing it
+// in a fresh closure per event.
+func (e *Engine) AtCall(t Time, call func(any), arg any) Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", t, e.now))
+	}
+	nd := e.alloc()
+	nd.at, nd.seq, nd.call, nd.arg = t, e.seq, call, arg
+	e.seq++
+	return e.push(nd)
 }
 
 // After schedules fn to run d after the current virtual time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now+d, fn)
+}
+
+// less orders nodes by (time, scheduling sequence).
+func less(a, b *node) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores the 4-ary heap invariant from index i toward the root.
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	nd := q[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(nd, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = nd
+}
+
+// siftDown restores the 4-ary heap invariant from index i toward the leaves.
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	nd := q[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if less(q[j], q[m]) {
+				m = j
+			}
+		}
+		if !less(q[m], nd) {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	q[i] = nd
+}
+
+// popMin removes and returns the earliest node.
+func (e *Engine) popMin() *node {
+	q := e.queue
+	nd := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nil
+	e.queue = q[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	return nd
+}
+
+// compact evicts dead nodes in place and rebuilds the heap. Pop order is
+// unchanged: the (time, seq) order is total, so any valid heap over the
+// same live set yields the identical firing sequence.
+func (e *Engine) compact() {
+	q := e.queue[:0]
+	for _, nd := range e.queue {
+		if nd.dead {
+			e.dead--
+			e.release(nd)
+			continue
+		}
+		q = append(q, nd)
+	}
+	for i := len(q); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = q
+	for i := (len(q) - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }
 
 // Halt stops the run loop after the current event returns.
@@ -120,16 +263,28 @@ var ErrStalled = errors.New("sim: event queue empty before completion (deadlock)
 // It reports whether an event was fired.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.dead {
+		nd := e.popMin()
+		if nd.dead {
+			e.dead--
+			e.release(nd)
 			continue
 		}
-		if ev.at < e.now {
+		if nd.at < e.now {
 			panic("sim: clock regression")
 		}
-		e.now = ev.at
+		e.now = nd.at
 		e.fired++
-		ev.fn()
+		e.live--
+		fn, call, arg := nd.fn, nd.call, nd.arg
+		// Recycle before running the callback: outstanding handles go
+		// inert (Cancel of a fired event stays a no-op) and the callback
+		// can immediately reuse the node for what it schedules.
+		e.release(nd)
+		if fn != nil {
+			fn()
+		} else {
+			call(arg)
+		}
 		return true
 	}
 	return false
@@ -159,13 +314,8 @@ func (e *Engine) Drain() {
 	}
 }
 
-// Pending reports the number of live events still queued.
+// Pending reports the number of live events still queued. It is O(1): the
+// engine maintains the count as events are scheduled, cancelled, and fired.
 func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
+	return e.live
 }

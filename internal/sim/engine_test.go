@@ -149,6 +149,143 @@ func TestEngineOrderingProperty(t *testing.T) {
 	}
 }
 
+func TestEngineAtCall(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	record := func(x any) { got = append(got, x.(int)) }
+	e.AtCall(20, record, 2)
+	e.AtCall(10, record, 1)
+	e.At(15, func() { got = append(got, 99) })
+	e.Drain()
+	if len(got) != 3 || got[0] != 1 || got[1] != 99 || got[2] != 2 {
+		t.Fatalf("AtCall fired as %v", got)
+	}
+}
+
+func TestEnginePendingCountsLiveEvents(t *testing.T) {
+	e := NewEngine()
+	evs := make([]Event, 10)
+	for i := range evs {
+		evs[i] = e.At(Time(i+1), func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	evs[3].Cancel()
+	evs[7].Cancel()
+	if e.Pending() != 8 {
+		t.Fatalf("Pending = %d after 2 cancels, want 8", e.Pending())
+	}
+	evs[3].Cancel() // double cancel must not double-count
+	if e.Pending() != 8 {
+		t.Fatalf("Pending = %d after double cancel, want 8", e.Pending())
+	}
+	e.Step()
+	if e.Pending() != 7 {
+		t.Fatalf("Pending = %d after one step, want 7", e.Pending())
+	}
+	e.Drain()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+// Cancelled events must not stay resident: once they exceed half the
+// queue the engine compacts them away.
+func TestEngineCancelCompacts(t *testing.T) {
+	e := NewEngine()
+	keep := e.At(1, func() {})
+	_ = keep
+	var evs []Event
+	for i := 0; i < 1000; i++ {
+		evs = append(evs, e.At(Time(i+2), func() {}))
+	}
+	for _, ev := range evs {
+		ev.Cancel()
+	}
+	if n := len(e.queue); n > 501 {
+		t.Fatalf("queue holds %d nodes after mass cancel, compaction failed", n)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d events, want 1", fired)
+	}
+}
+
+// A handle to a fired event must stay inert even after its node is
+// recycled for a new event.
+func TestEngineStaleHandleCancelIsNoop(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(1, func() {})
+	e.Step() // fires and recycles the node
+	fired := false
+	fresh := e.At(2, func() { fired = true })
+	stale.Cancel() // must not kill the recycled node
+	e.Drain()
+	if !fired {
+		t.Fatal("stale Cancel killed an unrelated recycled event")
+	}
+	fresh.Cancel() // after firing: no-op
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+// Steady-state scheduling must not allocate: nodes come from the free
+// list once the queue has warmed up.
+func TestEngineEventPooling(t *testing.T) {
+	e := NewEngine()
+	tick := func(any) {}
+	var next Time
+	allocs := testing.AllocsPerRun(1000, func() {
+		next += 1
+		e.AtCall(next, tick, nil)
+		e.Step()
+	})
+	if allocs > 0.1 {
+		t.Fatalf("steady-state AtCall+Step allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func(any) {}
+	// Keep a standing queue so sift depth is realistic.
+	for i := 0; i < 256; i++ {
+		e.AtCall(Time(i+1), fn, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var at Time
+	for i := 0; i < b.N; i++ {
+		at++
+		e.AtCall(at+256, fn, nil)
+		e.Step()
+	}
+}
+
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var at Time
+	for i := 0; i < b.N; i++ {
+		at++
+		ev := e.AtCall(at, fn, nil)
+		if i&1 == 0 {
+			ev.Cancel()
+		}
+		e.Step()
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(7), NewRNG(7)
 	for i := 0; i < 1000; i++ {

@@ -220,6 +220,9 @@ type Scheduler struct {
 
 	passQueued bool
 	inPass     bool
+	// passFn caches the bound method value for s.pass so queueing a
+	// scheduler pass does not allocate one per event.
+	passFn func()
 
 	// SwitchExtra is the privatization method's additional
 	// per-context-switch cost (TLS segment pointer update, GOT swap);
@@ -244,6 +247,7 @@ type Scheduler struct {
 // NewScheduler binds a scheduler to a PE.
 func NewScheduler(pe *machine.PE, engine *sim.Engine, cost *machine.CostModel) *Scheduler {
 	s := &Scheduler{PE: pe, Engine: engine, Cost: cost}
+	s.passFn = s.pass
 	pe.Sched = s
 	return s
 }
@@ -317,7 +321,7 @@ func (s *Scheduler) schedule() {
 	if now := s.Engine.Now(); now > at {
 		at = now
 	}
-	s.Engine.At(at, s.pass)
+	s.Engine.At(at, s.passFn)
 }
 
 // pass runs ready threads until the queue drains. It executes as one
