@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench race
+.PHONY: all build test bench race vet ci
 
 all: build test
 
@@ -18,3 +18,9 @@ bench:
 # under parallelism; race-check the packages that exercise them.
 race:
 	$(GO) test -race ./internal/harness/... ./internal/ampi/...
+
+vet:
+	$(GO) vet ./...
+
+# Everything CI runs, in the same order (see .github/workflows/ci.yml).
+ci: vet build test race

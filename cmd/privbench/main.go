@@ -21,7 +21,9 @@ import (
 	"strconv"
 	"strings"
 
+	"provirt/internal/core"
 	"provirt/internal/harness"
+	"provirt/internal/trace"
 	"provirt/internal/workloads/adcirc"
 )
 
@@ -34,6 +36,19 @@ func main() {
 		"worker goroutines for experiment sweeps; each simulation stays single-threaded and seeded, so output is identical at any setting (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	traceFile := flag.String("trace", "",
+		"write a virtual-time event trace of one sweep point to this file (requires a single -experiment: fig5, fig5scale, fig6, fig7, fig8, table2, fig9)")
+	traceFormat := flag.String("trace-format", "jsonl",
+		"trace file format: jsonl (one event per line) or chrome (Perfetto-loadable trace-event JSON)")
+	traceMethod := flag.String("trace-method", "pieglobals",
+		"privatization method of the sweep point to trace (fig5/fig6/fig7/fig8)")
+	traceHeap := flag.Uint64("trace-heap", 1<<20,
+		"per-rank heap size in bytes of the fig8 point to trace")
+	traceCores := flag.Int("trace-cores", 1, "core count of the table2/fig9 point to trace")
+	traceRatio := flag.Int("trace-ratio", 1,
+		"virtualization ratio of the table2/fig9 point to trace (1 = unvirtualized baseline)")
+	profileRanks := flag.Bool("profile-ranks", false,
+		"print per-rank and per-PE virtual-time utilization profiles with a critical-path summary for the traced sweep point")
 	flag.Parse()
 
 	cores, err := parseInts(*coresFlag)
@@ -75,6 +90,37 @@ func main() {
 				fmt.Fprintf(os.Stderr, "privbench: write heap profile: %v\n", err)
 			}
 		}()
+	}
+
+	// Tracing selects exactly one sweep point of one experiment; the
+	// selection is resolved here, from flags, so it is concrete before
+	// any (possibly parallel) sweep starts.
+	var rec *trace.Recorder
+	if *traceFile != "" || *profileRanks {
+		switch *experiment {
+		case "fig5", "fig5scale", "fig6", "fig7", "fig8", "table2", "fig9":
+		default:
+			fmt.Fprintf(os.Stderr, "privbench: -trace/-profile-ranks need -experiment to be one of fig5, fig5scale, fig6, fig7, fig8, table2, fig9 (got %q)\n", *experiment)
+			os.Exit(2)
+		}
+		if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+			fmt.Fprintf(os.Stderr, "privbench: unknown -trace-format %q (want jsonl or chrome)\n", *traceFormat)
+			os.Exit(2)
+		}
+		kind, err := core.ParseKind(*traceMethod)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "privbench: -trace-method: %v\n", err)
+			os.Exit(2)
+		}
+		rec = trace.NewRecorder()
+		harness.TraceSelection = &harness.TraceSel{
+			Method: kind,
+			Nodes:  *nodes,
+			Heap:   *traceHeap,
+			Cores:  *traceCores,
+			Ratio:  *traceRatio,
+			Rec:    rec,
+		}
 	}
 
 	run := func(name string, fn func() error) {
@@ -171,6 +217,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "privbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+
+	if rec != nil {
+		if rec.Len() == 0 {
+			fmt.Fprintf(os.Stderr, "privbench: trace selection matched no run (check -trace-method/-nodes/-trace-heap/-trace-cores/-trace-ratio against the experiment's sweep)\n")
+			os.Exit(1)
+		}
+		if *traceFile != "" {
+			if err := writeTrace(*traceFile, *traceFormat, rec.Events()); err != nil {
+				fmt.Fprintf(os.Stderr, "privbench: -trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: %d events -> %s (%s)\n", rec.Len(), *traceFile, *traceFormat)
+		}
+		if *profileRanks {
+			p := trace.BuildProfile(rec.Events())
+			fmt.Println(p.RankTable())
+			fmt.Println(p.PETable())
+			fmt.Println(p.CriticalPath().Summary())
+		}
+	}
+}
+
+// writeTrace serializes events to path in the chosen format.
+func writeTrace(path, format string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "chrome":
+		err = trace.WriteChrome(f, events)
+	default:
+		err = trace.WriteJSONL(f, events)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func parseInts(s string) ([]int, error) {

@@ -3,6 +3,8 @@ package ampi
 import (
 	"fmt"
 	"sort"
+
+	"provirt/internal/trace"
 )
 
 // WorldComm is the id of MPI_COMM_WORLD.
@@ -386,7 +388,18 @@ func (r *Rank) sendInternalComm(dstWorld, tag, comm int, data []float64, bytes u
 
 func (r *Rank) irecvComm(srcWorld, tag, comm int, internal bool) *Request {
 	q := &Request{rank: r, src: srcWorld, tag: tag, comm: comm, recv: true, internal: internal}
+	w := r.world
+	if w.tracer != nil {
+		w.tracer.Emit(trace.Event{Time: r.thread.Now(), Kind: trace.KindRecvPost,
+			PE: int32(r.pe.ID), VP: int32(r.vp), Peer: int32(srcWorld),
+			Tag: int32(tag), Comm: int64(comm)})
+	}
 	if m := r.mailbox.take(q); m != nil {
+		if w.tracer != nil {
+			w.tracer.Emit(trace.Event{Time: r.thread.Now(), Kind: trace.KindMatch,
+				PE: int32(r.pe.ID), VP: int32(r.vp), Peer: int32(m.src),
+				Tag: int32(m.tag), Aux: trace.MatchOnPost, Comm: int64(m.comm), Bytes: m.bytes})
+		}
 		r.complete(q, m)
 		return q
 	}

@@ -5,6 +5,7 @@ import (
 
 	"provirt/internal/lb"
 	"provirt/internal/sim"
+	"provirt/internal/trace"
 )
 
 // MigrationRecord describes one completed rank migration.
@@ -21,12 +22,23 @@ type MigrationRecord struct {
 // move ranks; ranks resume once any migrations affecting them complete.
 func (r *Rank) Migrate() {
 	w := r.world
+	var stallStart sim.Time
+	if w.tracer != nil {
+		stallStart = r.thread.Now()
+	}
 	w.migrateWaiting = append(w.migrateWaiting, r)
 	if len(w.migrateWaiting) == len(w.Ranks) {
 		at := r.thread.Now()
 		w.Cluster.Engine.At(at, func() { w.runBalancer() })
 	}
 	r.thread.Suspend()
+	if w.tracer != nil {
+		// The stall covers the collective's barrier semantics plus any
+		// serialization/transfer/unpack time for ranks that moved.
+		w.tracer.Emit(trace.Event{Time: stallStart, Dur: r.thread.Now() - stallStart,
+			Kind: trace.KindWait, PE: int32(r.pe.ID), VP: int32(r.vp), Peer: -1,
+			Aux: trace.WaitMigrate})
+	}
 }
 
 // LastMigrations returns the records from the most recent balancing
@@ -123,6 +135,10 @@ func (w *World) migrateRank(r *Rank, from, to int, start sim.Time) error {
 		w.lastMigrations = append(w.lastMigrations, MigrationRecord{
 			VP: r.vp, FromPE: from, ToPE: to, Bytes: bytes, Duration: arrive - start,
 		})
+		if w.tracer != nil {
+			w.tracer.Emit(trace.Event{Time: start, Dur: arrive - start, Kind: trace.KindMigration,
+				PE: int32(from), VP: int32(r.vp), Peer: int32(to), Bytes: bytes})
+		}
 		r.thread.Wake()
 	})
 	return nil

@@ -6,6 +6,7 @@ import (
 	"provirt/internal/core"
 	"provirt/internal/machine"
 	"provirt/internal/sim"
+	"provirt/internal/trace"
 	"provirt/internal/ult"
 )
 
@@ -138,7 +139,13 @@ func (r *Rank) sendMsg(dst, tag, comm int, data []float64, bytes uint64, interna
 	m := w.getMsg()
 	m.src, m.tag, m.comm, m.bytes, m.data, m.internal, m.dst =
 		r.vp, tag, comm, bytes, payload, internal, dstRank
-	arrive := r.thread.Now() + w.Cluster.TransferTime(r.PE(), dstRank.PE(), bytes)
+	depart := r.thread.Now()
+	if w.tracer != nil {
+		w.tracer.Emit(trace.Event{Time: depart, Kind: trace.KindSendPost,
+			PE: int32(r.pe.ID), VP: int32(r.vp), Peer: int32(dst),
+			Tag: int32(tag), Comm: int64(comm), Bytes: bytes})
+	}
+	arrive := w.Cluster.Transfer(depart, r.PE(), dstRank.PE(), bytes)
 	w.Cluster.Engine.AtCall(arrive, deliverMsg, m)
 }
 
@@ -162,13 +169,24 @@ func (r *Rank) complete(q *Request, m *message) {
 // matching posted receive completes; otherwise the message queues as
 // unexpected.
 func (r *Rank) deliver(m *message) {
+	w := r.world
 	if q := r.waits.match(m); q != nil {
+		if w.tracer != nil {
+			w.tracer.Emit(trace.Event{Time: w.Cluster.Engine.Now(), Kind: trace.KindMatch,
+				PE: int32(r.pe.ID), VP: int32(r.vp), Peer: int32(m.src),
+				Tag: int32(m.tag), Aux: trace.MatchOnDeliver, Comm: int64(m.comm), Bytes: m.bytes})
+		}
 		r.complete(q, m)
 		if q.blocked {
 			q.blocked = false
 			r.thread.Wake()
 		}
 		return
+	}
+	if w.tracer != nil {
+		w.tracer.Emit(trace.Event{Time: w.Cluster.Engine.Now(), Kind: trace.KindUnexpected,
+			PE: int32(r.pe.ID), VP: int32(r.vp), Peer: int32(m.src),
+			Tag: int32(m.tag), Comm: int64(m.comm), Bytes: m.bytes})
 	}
 	r.mailbox.add(m)
 }
@@ -198,9 +216,19 @@ func (r *Rank) Wait(q *Request) []float64 {
 	}
 	if !q.done {
 		q.blocked = true
+		w := r.world
+		var wstart sim.Time
+		if w.tracer != nil {
+			wstart = r.thread.Now()
+		}
 		r.thread.Suspend()
 		if !q.done {
 			panic(fmt.Sprintf("ampi: rank %d woke from Wait with incomplete request", r.vp))
+		}
+		if w.tracer != nil {
+			w.tracer.Emit(trace.Event{Time: wstart, Dur: r.thread.Now() - wstart, Kind: trace.KindWait,
+				PE: int32(r.pe.ID), VP: int32(r.vp), Peer: int32(q.gotSrc),
+				Tag: int32(q.gotTag), Aux: trace.WaitMessage, Comm: int64(q.comm)})
 		}
 	}
 	r.thread.Advance(r.world.Cluster.Cost.MsgRecvOverhead)

@@ -21,6 +21,7 @@ import (
 	"provirt/internal/loader"
 	"provirt/internal/machine"
 	"provirt/internal/sim"
+	"provirt/internal/trace"
 	"provirt/internal/ult"
 )
 
@@ -59,6 +60,14 @@ type Config struct {
 	// ShouldBalance reports true (e.g. lb.ImbalanceTrigger). Nil
 	// balances at every opportunity.
 	Trigger lb.Trigger
+	// Tracer, if set, receives Projections-style virtual-time events
+	// from every layer of the run: engine dispatch, context switches
+	// and execution quanta, message posts/matches/waits, collectives,
+	// migrations, link occupancy, and shared-FS transfers. The nil
+	// default is the zero-overhead path: each hook is a single pointer
+	// comparison, and no hook perturbs virtual time, so traced and
+	// untraced runs produce identical results.
+	Tracer trace.Tracer
 
 	// restart, when set via NewWorldFromCheckpoint, restores every
 	// rank's state from the snapshot before its thread first runs.
@@ -104,6 +113,9 @@ type World struct {
 	// declined to rebalance.
 	SkippedBalances int
 
+	// tracer mirrors Cfg.Tracer for the runtime's hook sites.
+	tracer trace.Tracer
+
 	migrateWaiting []*Rank
 	lastMigrations []MigrationRecord
 	ckptWaiting    []*Rank
@@ -134,7 +146,10 @@ func NewWorld(cfg Config, prog *Program) (*World, error) {
 	} else {
 		cfg.Privatize = method.Kind()
 	}
-	w := &World{Cfg: cfg, Cluster: cl, Method: method, Program: prog}
+	w := &World{Cfg: cfg, Cluster: cl, Method: method, Program: prog, tracer: cfg.Tracer}
+	if w.tracer != nil {
+		cl.SetTracer(w.tracer)
+	}
 
 	// Block-map VPs onto PEs: PE i runs VPs [i*V/P, (i+1)*V/P).
 	pes := cl.PEs()
@@ -182,6 +197,10 @@ func NewWorld(cfg Config, prog *Program) (*World, error) {
 		if res.Done > setupDone {
 			setupDone = res.Done
 		}
+		if w.tracer != nil {
+			w.tracer.Emit(trace.Event{Time: 0, Dur: res.Done, Kind: trace.KindSetup,
+				PE: int32(firstPE), VP: -1, Peer: -1})
+		}
 	}
 	w.SetupDone = setupDone
 
@@ -191,6 +210,7 @@ func NewWorld(cfg Config, prog *Program) (*World, error) {
 		s.SwitchExtra = func(from, to *ult.Thread) sim.Time {
 			return w.Method.SwitchExtra(rankCtx(from), rankCtx(to))
 		}
+		s.Tracer = w.tracer
 		w.scheds = append(w.scheds, s)
 	}
 
@@ -244,6 +264,9 @@ func (w *World) Run() error {
 		}
 		return true
 	})
+	if w.tracer != nil {
+		w.tracer.Emit(trace.Event{Time: w.Time(), Kind: trace.KindRunEnd, PE: -1, VP: -1, Peer: -1})
+	}
 	if w.runtimeErr != nil {
 		return w.runtimeErr
 	}

@@ -45,11 +45,15 @@ func runAdcirc(cfg adcirc.Config, cores, vps int, balancer lb.Strategy) (sim.Tim
 	if balancer == nil {
 		acfg.LBPeriod = 0
 	}
+	ratio := vps / cores
 	wcfg := ampi.Config{
 		Machine:   machineShape(1, 1, cores),
 		VPs:       vps,
 		Privatize: core.KindPIEglobals,
 		Balancer:  balancer,
+		Tracer: tracerFor(func(ts *TraceSel) bool {
+			return ts.Cores == cores && ts.Ratio == ratio
+		}),
 	}
 	w, err := runWorld(wcfg, adcirc.New(acfg, nil))
 	if err != nil {

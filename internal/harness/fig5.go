@@ -39,6 +39,9 @@ func Fig5Startup(nodes int) ([]Fig5Row, *trace.Table, error) {
 			Privatize: kind,
 			Toolchain: tc,
 			OS:        osEnv,
+			Tracer: tracerFor(func(ts *TraceSel) bool {
+				return ts.Method == kind && ts.Nodes == nodes
+			}),
 		}
 		w, err := runWorld(cfg, synth.Empty())
 		if err != nil {

@@ -45,6 +45,7 @@ func Fig6ContextSwitch() ([]Fig6Row, *trace.Table, error) {
 			Privatize: kind,
 			Toolchain: tc,
 			OS:        osEnv,
+			Tracer:    tracerFor(func(ts *TraceSel) bool { return ts.Method == kind }),
 		}
 		w, err := runWorld(cfg, synth.Ping())
 		if err != nil {

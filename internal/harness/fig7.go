@@ -45,6 +45,7 @@ func Fig7JacobiAccess() ([]Fig7Row, *trace.Table, error) {
 			Privatize: kind,
 			Toolchain: tc,
 			OS:        osEnv,
+			Tracer:    tracerFor(func(ts *TraceSel) bool { return ts.Method == kind }),
 		}
 		w, err := runWorld(wcfg, jacobi.New(cfg, nil))
 		if err != nil {

@@ -50,6 +50,9 @@ func Fig8Migration() ([]Fig8Row, *trace.Table, error) {
 			Toolchain: tc,
 			OS:        osEnv,
 			Balancer:  lb.RotateLB{},
+			Tracer: tracerFor(func(ts *TraceSel) bool {
+				return ts.Method == kind && ts.Heap == heap
+			}),
 		}
 		w, err := runWorld(cfg, prog)
 		if err != nil {

@@ -27,6 +27,50 @@ var Parallelism = runtime.GOMAXPROCS(0)
 // runner returns the sweep runner the experiments fan out with.
 func runner() sweep.Runner { return sweep.Runner{Workers: Parallelism} }
 
+// TraceSel selects exactly one sweep point of an experiment to trace.
+// Each experiment matches only the fields it sweeps — Fig5Startup
+// matches (Method, Nodes), Fig6/Fig7 match Method, Fig8 matches
+// (Method, Heap), AdcircScaling matches (Cores, Ratio) — and attaches
+// Rec to the single world whose configuration matches exactly. Because
+// the match is a pure function of the configuration (never of
+// scheduling order), the recorded trace is byte-identical between
+// serial and parallel sweeps, and the untraced worlds of the sweep run
+// exactly as if no selection existed.
+//
+// The caller must make the selection unique for the experiment it runs
+// (e.g. set Nodes when tracing inside Fig5Scaling): a selection that
+// matched two concurrently-running worlds would interleave their
+// events in one recorder.
+type TraceSel struct {
+	// Method selects the privatization method (fig5/6/7/8).
+	Method core.Kind
+	// Nodes selects the node count (fig5).
+	Nodes int
+	// Heap selects the per-rank heap size in bytes (fig8).
+	Heap uint64
+	// Cores and Ratio select the scaling point (table2/fig9); Ratio 1
+	// is the unvirtualized baseline.
+	Cores int
+	Ratio int
+	// Rec receives the selected world's events.
+	Rec *trace.Recorder
+}
+
+// TraceSelection is read by the experiments at world-construction
+// time. Set it (with its Recorder) before calling an experiment and
+// clear it after; it must not change while a sweep is running.
+var TraceSelection *TraceSel
+
+// tracerFor returns the selection's recorder when match reports the
+// sweep point is the selected one, else a nil Tracer.
+func tracerFor(match func(*TraceSel) bool) trace.Tracer {
+	ts := TraceSelection
+	if ts == nil || ts.Rec == nil || !match(ts) {
+		return nil
+	}
+	return ts.Rec
+}
+
 // Fig5Methods are the privatization methods the startup experiment
 // compares (baseline plus AMPI's existing TLSglobals plus the paper's
 // three new runtime methods).

@@ -1,0 +1,134 @@
+package harness_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"provirt/internal/core"
+	"provirt/internal/harness"
+	"provirt/internal/trace"
+)
+
+// Tracing one sweep point must not perturb results: hooks only read
+// simulator state, so a traced sweep renders byte-identical rows and
+// tables to an untraced one. And because the traced world is selected
+// by configuration (not scheduling order) and runs single-threaded,
+// the recorded event stream is byte-identical at any sweep
+// parallelism. These tests pin both contracts for Fig. 5 and Fig. 8.
+
+// withTraceSel installs a recorder for one sweep point and restores the
+// previous (normally nil) selection afterwards.
+func withTraceSel(t *testing.T, sel harness.TraceSel, f func()) *trace.Recorder {
+	t.Helper()
+	rec := trace.NewRecorder()
+	sel.Rec = rec
+	old := harness.TraceSelection
+	harness.TraceSelection = &sel
+	defer func() { harness.TraceSelection = old }()
+	f()
+	return rec
+}
+
+func jsonl(t *testing.T, rec *trace.Recorder) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFig5TracedRunMatchesUntraced(t *testing.T) {
+	run := func() (string, string) {
+		rows, tbl, err := harness.Fig5Startup(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%#v", rows), tbl.String()
+	}
+	plainRows, plainTbl := run()
+	var tracedRows, tracedTbl string
+	rec := withTraceSel(t, harness.TraceSel{Method: core.KindPIEglobals, Nodes: 2}, func() {
+		tracedRows, tracedTbl = run()
+	})
+	if rec.Len() == 0 {
+		t.Fatal("trace selection matched no fig5 run")
+	}
+	if plainRows != tracedRows {
+		t.Errorf("fig5 rows diverge when traced:\nuntraced: %s\ntraced:   %s", plainRows, tracedRows)
+	}
+	if plainTbl != tracedTbl {
+		t.Errorf("fig5 table diverges when traced:\nuntraced:\n%s\ntraced:\n%s", plainTbl, tracedTbl)
+	}
+}
+
+func TestFig8TracedRunMatchesUntraced(t *testing.T) {
+	run := func() (string, string) {
+		rows, tbl, err := harness.Fig8Migration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%#v", rows), tbl.String()
+	}
+	plainRows, plainTbl := run()
+	var tracedRows, tracedTbl string
+	rec := withTraceSel(t, harness.TraceSel{Method: core.KindTLSglobals, Heap: 4 << 20}, func() {
+		tracedRows, tracedTbl = run()
+	})
+	if rec.Len() == 0 {
+		t.Fatal("trace selection matched no fig8 run")
+	}
+	if plainRows != tracedRows {
+		t.Errorf("fig8 rows diverge when traced:\nuntraced: %s\ntraced:   %s", plainRows, tracedRows)
+	}
+	if plainTbl != tracedTbl {
+		t.Errorf("fig8 table diverges when traced:\nuntraced:\n%s\ntraced:\n%s", plainTbl, tracedTbl)
+	}
+}
+
+func TestFig5TraceBytesParallelismInvariant(t *testing.T) {
+	capture := func(par int) []byte {
+		var rec *trace.Recorder
+		withParallelism(t, par, func() {
+			rec = withTraceSel(t, harness.TraceSel{Method: core.KindPIEglobals, Nodes: 2}, func() {
+				if _, _, err := harness.Fig5Startup(2); err != nil {
+					t.Fatal(err)
+				}
+			})
+		})
+		if rec.Len() == 0 {
+			t.Fatalf("no events recorded at parallelism %d", par)
+		}
+		return jsonl(t, rec)
+	}
+	serial := capture(1)
+	parallel := capture(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("fig5 trace bytes diverge between serial and parallel sweeps (%d vs %d bytes)",
+			len(serial), len(parallel))
+	}
+}
+
+func TestFig8TraceBytesParallelismInvariant(t *testing.T) {
+	capture := func(par int) []byte {
+		var rec *trace.Recorder
+		withParallelism(t, par, func() {
+			rec = withTraceSel(t, harness.TraceSel{Method: core.KindPIEglobals, Heap: 1 << 20}, func() {
+				if _, _, err := harness.Fig8Migration(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		})
+		if rec.Len() == 0 {
+			t.Fatalf("no events recorded at parallelism %d", par)
+		}
+		return jsonl(t, rec)
+	}
+	serial := capture(1)
+	parallel := capture(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("fig8 trace bytes diverge between serial and parallel sweeps (%d vs %d bytes)",
+			len(serial), len(parallel))
+	}
+}

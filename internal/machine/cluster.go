@@ -6,6 +6,7 @@ import (
 
 	"provirt/internal/mem"
 	"provirt/internal/sim"
+	"provirt/internal/trace"
 )
 
 // Config describes a cluster to simulate.
@@ -54,7 +55,20 @@ type Cluster struct {
 	Nodes  []*Node
 	FS     *SharedFS
 
+	// Tracer, when non-nil, receives link-occupancy events from
+	// Transfer. Nil (the default) costs one pointer comparison.
+	Tracer trace.Tracer
+
 	pes []*PE
+}
+
+// SetTracer wires a tracer through the machine layer: link occupancy
+// on the cluster, transfer spans on the shared filesystem, and
+// dispatch events on the engine.
+func (cl *Cluster) SetTracer(t trace.Tracer) {
+	cl.Tracer = t
+	cl.FS.tracer = t
+	cl.Engine.SetTracer(t)
 }
 
 // Node is one compute node.
@@ -172,6 +186,32 @@ func (cl *Cluster) TransferTime(a, b *PE, n uint64) time.Duration {
 	}
 }
 
+// Tier reports which network tier joins two PEs.
+func (cl *Cluster) Tier(a, b *PE) int32 {
+	switch {
+	case a.Proc == b.Proc:
+		return trace.TierSharedMem
+	case a.Proc.Node == b.Proc.Node:
+		return trace.TierIntraNode
+	default:
+		return trace.TierInterNode
+	}
+}
+
+// Transfer charges a transfer of n bytes departing PE a for PE b at
+// virtual time start and returns the arrival time. It is TransferTime
+// anchored at a departure instant, which lets the tracer record the
+// flight as a link-occupancy span; untraced callers get exactly
+// start + TransferTime(a, b, n).
+func (cl *Cluster) Transfer(start sim.Time, a, b *PE, n uint64) sim.Time {
+	d := cl.TransferTime(a, b, n)
+	if cl.Tracer != nil {
+		cl.Tracer.Emit(trace.Event{Time: start, Dur: d, Kind: trace.KindLink,
+			PE: int32(a.ID), VP: -1, Peer: int32(b.ID), Aux: cl.Tier(a, b), Bytes: n})
+	}
+	return start + d
+}
+
 // SharedFS models a parallel filesystem whose aggregate bandwidth is
 // shared by all clients. Transfers serialize on the filesystem resource,
 // so per-client throughput degrades as more processes do I/O at once —
@@ -180,6 +220,7 @@ type SharedFS struct {
 	engine   *sim.Engine
 	cost     *CostModel
 	busyTill sim.Time
+	tracer   trace.Tracer
 
 	files map[string]uint64 // path -> size
 
@@ -203,6 +244,13 @@ func (fs *SharedFS) transfer(start sim.Time, n uint64) sim.Time {
 	done := start + fs.cost.FSOpenLatency +
 		time.Duration(float64(n)/fs.cost.FSBandwidth*float64(time.Second))
 	fs.busyTill = done
+	if fs.tracer != nil {
+		// The span starts when the transfer reaches the head of the
+		// shared-bandwidth queue, so concurrent clients render as the
+		// serialized occupancy the FSglobals startup pathology is about.
+		fs.tracer.Emit(trace.Event{Time: start, Dur: done - start, Kind: trace.KindFSIO,
+			PE: -1, VP: -1, Peer: -1, Bytes: n})
+	}
 	return done
 }
 

@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"provirt/internal/trace"
 )
 
 // Time is a point in virtual time, measured as an offset from the start of
@@ -85,6 +87,11 @@ type Engine struct {
 	free   []*node
 	fired  uint64
 	halted bool
+
+	// tracer, when non-nil, receives one KindEngineEvent per dispatch.
+	// The nil default keeps Step's dispatch loop hook-free apart from a
+	// single pointer comparison.
+	tracer trace.Tracer
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -97,6 +104,9 @@ func (e *Engine) Now() Time { return e.now }
 
 // EventsFired reports how many events have been processed so far.
 func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// SetTracer installs (or, with nil, removes) the dispatch tracer.
+func (e *Engine) SetTracer(t trace.Tracer) { e.tracer = t }
 
 // alloc takes a node from the free list, or makes one.
 func (e *Engine) alloc() *node {
@@ -275,6 +285,9 @@ func (e *Engine) Step() bool {
 		e.now = nd.at
 		e.fired++
 		e.live--
+		if e.tracer != nil {
+			e.tracer.Emit(trace.Event{Time: e.now, Kind: trace.KindEngineEvent, PE: -1, VP: -1, Peer: -1})
+		}
 		fn, call, arg := nd.fn, nd.call, nd.arg
 		// Recycle before running the callback: outstanding handles go
 		// inert (Cancel of a fired event stays a no-op) and the callback

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildProfilePartition(t *testing.T) {
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	// Rank 0 on PE 0: switch 1us, exec 10us, wait 4us, exec 5us; run ends
+	// at 30us. Rank 1 never runs (pure idle).
+	events := []Event{
+		{Time: 0, Dur: us(2), Kind: KindSetup, PE: 0, VP: -1},
+		{Time: us(2), Dur: us(1), Kind: KindSwitch, PE: 0, VP: 0, Peer: -1},
+		{Time: us(3), Dur: us(10), Kind: KindExec, PE: 0, VP: 0},
+		{Time: us(13), Dur: us(4), Kind: KindWait, PE: 0, VP: 0, Aux: WaitMessage},
+		{Time: us(17), Dur: us(5), Kind: KindExec, PE: 0, VP: 0},
+		{Time: us(5), Kind: KindSendPost, PE: 0, VP: 1},
+		{Time: us(6), Kind: KindRecvPost, PE: 0, VP: 1},
+		{Time: us(8), Dur: us(3), Kind: KindColl, PE: 0, VP: 0, Aux: CollBarrier},
+		{Time: us(22), Dur: us(4), Kind: KindWait, PE: 0, VP: 0, Aux: WaitMigrate},
+		{Time: us(22), Dur: us(4), Kind: KindMigration, PE: 0, VP: 0, Peer: 1, Bytes: 100},
+		{Time: us(30), Kind: KindRunEnd, PE: -1, VP: -1},
+	}
+	p := BuildProfile(events)
+	if p.Span != us(30) {
+		t.Fatalf("span %v, want 30us", p.Span)
+	}
+	if len(p.Ranks) != 2 || p.Ranks[0].VP != 0 || p.Ranks[1].VP != 1 {
+		t.Fatalf("ranks %+v", p.Ranks)
+	}
+	r0 := p.Ranks[0]
+	if r0.Compute != us(15) || r0.Blocked != us(8) || r0.Overhead != us(1) {
+		t.Fatalf("rank 0 compute=%v blocked=%v overhead=%v", r0.Compute, r0.Blocked, r0.Overhead)
+	}
+	// Partition: idle is the remainder of the makespan.
+	if got := r0.Compute + r0.Blocked + r0.Overhead + r0.Idle; got != p.Span {
+		t.Fatalf("rank 0 partition sums to %v, want %v", got, p.Span)
+	}
+	if r0.MigrateStall != us(4) || r0.Collective != us(3) || r0.Migrations != 1 {
+		t.Fatalf("rank 0 inclusive columns: %+v", r0)
+	}
+	r1 := p.Ranks[1]
+	if r1.Compute != 0 || r1.Idle != p.Span {
+		t.Fatalf("never-running rank 1 should be all idle: %+v", r1)
+	}
+	if r1.Sends != 1 || r1.Recvs != 1 {
+		t.Fatalf("rank 1 message counts: %+v", r1)
+	}
+	if len(p.PEs) != 1 {
+		t.Fatalf("PEs %+v", p.PEs)
+	}
+	q := p.PEs[0]
+	if q.Setup != us(2) || q.Busy != us(15) || q.Switch != us(1) || q.Switches != 1 {
+		t.Fatalf("PE 0 %+v", q)
+	}
+	if got := q.Setup + q.Busy + q.Switch + q.Idle; got != p.Span {
+		t.Fatalf("PE partition sums to %v, want %v", got, p.Span)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	events := []Event{
+		{Time: 0, Dur: us(10), Kind: KindExec, PE: 0, VP: 0},
+		{Time: 0, Dur: us(20), Kind: KindExec, PE: 1, VP: 1},
+		{Time: us(20), Kind: KindRunEnd, PE: -1, VP: -1},
+	}
+	p := BuildProfile(events)
+	cp := p.CriticalPath()
+	if cp.VP != 1 || cp.End != us(20) {
+		t.Fatalf("critical path %+v, want rank 1 at 20us", cp)
+	}
+	if cp.Utilization != 1.0 {
+		t.Fatalf("utilization %v, want 1.0", cp.Utilization)
+	}
+	if s := cp.Summary(); !strings.Contains(s, "rank 1") || !strings.Contains(s, "100% compute") {
+		t.Fatalf("summary %q", s)
+	}
+
+	// Ties break toward the lowest VP.
+	tie := BuildProfile([]Event{
+		{Time: 0, Dur: us(5), Kind: KindExec, PE: 0, VP: 3},
+		{Time: 0, Dur: us(5), Kind: KindExec, PE: 1, VP: 1},
+	})
+	if cp := tie.CriticalPath(); cp.VP != 1 {
+		t.Fatalf("tie broke to rank %d, want 1 (lowest VP)", cp.VP)
+	}
+
+	empty := BuildProfile(nil)
+	if cp := empty.CriticalPath(); cp.VP != -1 || !strings.Contains(cp.Summary(), "no rank activity") {
+		t.Fatalf("empty critical path %+v", cp)
+	}
+}
+
+func TestProfileTablesRender(t *testing.T) {
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	p := BuildProfile([]Event{
+		{Time: 0, Dur: us(2), Kind: KindSetup, PE: 0, VP: -1},
+		{Time: us(2), Dur: us(8), Kind: KindExec, PE: 0, VP: 0},
+		{Time: us(10), Kind: KindRunEnd, PE: -1, VP: -1},
+	})
+	rt := p.RankTable().String()
+	if !strings.Contains(rt, "per-rank utilization") || !strings.Contains(rt, "80%") {
+		t.Fatalf("rank table:\n%s", rt)
+	}
+	pt := p.PETable().String()
+	if !strings.Contains(pt, "per-PE utilization") || !strings.Contains(pt, "80%") {
+		t.Fatalf("PE table:\n%s", pt)
+	}
+}

@@ -15,6 +15,11 @@ import (
 type Series struct {
 	name    string
 	samples []float64
+	// sorted memoizes the sorted view for Percentile; nil means stale.
+	// Rendering a summary table asks for several quantiles of the same
+	// series back to back, so the sort is paid once per batch of Adds
+	// instead of once per quantile.
+	sorted []float64
 }
 
 // NewSeries returns an empty series with the given display name.
@@ -23,8 +28,11 @@ func NewSeries(name string) *Series { return &Series{name: name} }
 // Name returns the display name.
 func (s *Series) Name() string { return s.name }
 
-// Add appends a sample.
-func (s *Series) Add(v float64) { s.samples = append(s.samples, v) }
+// Add appends a sample, invalidating the memoized sorted view.
+func (s *Series) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sorted = nil
+}
 
 // AddDuration appends a duration sample in nanoseconds.
 func (s *Series) AddDuration(d time.Duration) { s.Add(float64(d)) }
@@ -87,12 +95,17 @@ func (s *Series) Stddev() float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+// The sorted view is memoized across calls and rebuilt only after Add,
+// so repeated quantile queries cost O(1) sorts per batch of samples.
 func (s *Series) Percentile(p float64) float64 {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.samples...)
-	sort.Float64s(sorted)
+	if s.sorted == nil {
+		s.sorted = append(make([]float64, 0, len(s.samples)), s.samples...)
+		sort.Float64s(s.sorted)
+	}
+	sorted := s.sorted
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -140,8 +153,19 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{title: title, headers: headers}
 }
 
-// AddRow appends a formatted row; cells beyond the header count are kept.
+// AddRow appends a formatted row. A row with more cells than the table
+// has headers is a programming error (the extra cells would render
+// misaligned under no column) and panics; a short row is padded with
+// empty cells so ragged data stays readable.
 func (t *Table) AddRow(cells ...string) {
+	if n := len(t.headers); n > 0 {
+		if len(cells) > n {
+			panic(fmt.Sprintf("trace: table %q row has %d cells for %d headers", t.title, len(cells), n))
+		}
+		for len(cells) < n {
+			cells = append(cells, "")
+		}
+	}
 	t.rows = append(t.rows, cells)
 }
 
@@ -159,7 +183,7 @@ func (t *Table) AddRowf(cells ...any) {
 			row[i] = fmt.Sprint(v)
 		}
 	}
-	t.rows = append(t.rows, row)
+	t.AddRow(row...)
 }
 
 // NumRows reports how many data rows the table holds.

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Percentile memoizes its sorted view; Add must invalidate it so later
+// queries see the new samples.
+func TestPercentileMemoInvalidatedByAdd(t *testing.T) {
+	s := NewSeries("m")
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	if s.Percentile(100) != 3 {
+		t.Fatalf("p100 %v", s.Percentile(100))
+	}
+	s.Add(10) // must invalidate the memoized sorted view
+	if got := s.Percentile(100); got != 10 {
+		t.Fatalf("p100 after Add = %v, want 10", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 after Add = %v, want 1", got)
+	}
+	// The memo must be a copy: sample insertion order is preserved.
+	if s.samples[0] != 3 || s.samples[3] != 10 {
+		t.Fatalf("samples reordered: %v", s.samples)
+	}
+}
+
+func TestPercentileMemoReused(t *testing.T) {
+	s := NewSeries("m")
+	for _, v := range []float64{5, 1, 9, 3} {
+		s.Add(v)
+	}
+	s.Percentile(50)
+	first := s.sorted
+	if first == nil {
+		t.Fatal("Percentile did not build the sorted memo")
+	}
+	s.Percentile(90)
+	if &s.sorted[0] != &first[0] {
+		t.Fatal("repeated Percentile calls rebuilt the sorted view")
+	}
+	if !sort.Float64sAreSorted(s.sorted) {
+		t.Fatalf("memo not sorted: %v", s.sorted)
+	}
+}
+
+// A row with more cells than headers would render misaligned; AddRow
+// treats it as a programming error.
+func TestAddRowTooManyCellsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRow with extra cells must panic")
+		}
+	}()
+	tb := NewTable("t", "A", "B")
+	tb.AddRow("1", "2", "3")
+}
+
+// Short rows pad with empty cells so ragged data renders aligned.
+func TestAddRowShortRowPadded(t *testing.T) {
+	tb := NewTable("t", "A", "B", "C")
+	tb.AddRow("1")
+	tb.AddRow("x", "y", "z")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// Both data rows render at the full header width.
+	if len(lines[3]) != len(lines[4]) {
+		t.Fatalf("padded row width %d != full row width %d:\n%s", len(lines[3]), len(lines[4]), out)
+	}
+}
+
+// Headerless tables keep accepting rows of any width.
+func TestAddRowNoHeaders(t *testing.T) {
+	tb := NewTable("")
+	tb.AddRow("a", "b", "c")
+	tb.AddRow("d")
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows %d", tb.NumRows())
+	}
+}
+
+// The memoization target: rendering a summary asks for several quantiles
+// of one series back to back; the sort must be paid once, not per call.
+func BenchmarkPercentileMemoized(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSeries("bench")
+	for i := 0; i < 10000; i++ {
+		s.Add(rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Percentile(50)
+		s.Percentile(90)
+		s.Percentile(99)
+	}
+}
+
+// Baseline: each batch of quantile queries after an Add pays one sort.
+func BenchmarkPercentileAfterAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSeries("bench")
+	for i := 0; i < 10000; i++ {
+		s.Add(rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(rng.Float64())
+		s.Percentile(50)
+		s.Percentile(90)
+		s.Percentile(99)
+	}
+}

@@ -1,0 +1,264 @@
+package trace
+
+import "time"
+
+// This file is the event-tracing core: a Projections-style virtual-time
+// event stream for the simulated AMPI runtime. The runtime packages
+// (sim, ult, machine, ampi) each hold an optional Tracer and emit
+// events at their hook points; a nil Tracer costs exactly one pointer
+// comparison per hook, so untraced runs pay nothing measurable and —
+// because no hook ever advances a clock or perturbs scheduling —
+// traced and untraced runs of the same configuration are bit-identical
+// in every experiment row.
+//
+// All timestamps are virtual time (time.Duration offsets from
+// simulation start, the same representation as sim.Time). Since each
+// simulation runs on one logical thread, events are emitted in a
+// deterministic order: the trace of a configuration is a pure function
+// of that configuration, byte-identical across repeated runs and
+// across serial vs parallel experiment sweeps.
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// KindEngineEvent marks one discrete-event dispatch in the
+	// simulation engine (very high volume; excluded by DefaultKinds).
+	KindEngineEvent Kind = iota
+	// KindSetup spans one process's privatization setup (dlopen/dlmopen
+	// work, FS copies) from t=0 to its completion. PE is the process's
+	// first PE.
+	KindSetup
+	// KindIdle spans a gap in which a PE had no ready thread.
+	KindIdle
+	// KindSwitch spans one ULT context switch on a PE: scheduler base
+	// cost plus the privatization method's surcharge. VP is the thread
+	// switched to, Peer the thread switched from (-1 for none).
+	KindSwitch
+	// KindExec spans one scheduling quantum: VP ran on PE from Time for
+	// Dur of virtual time.
+	KindExec
+	// KindSendPost marks a send entering the network (instant).
+	KindSendPost
+	// KindRecvPost marks a receive being posted (instant).
+	KindRecvPost
+	// KindMatch marks a message matching a receive (instant). Aux is
+	// MatchOnDeliver or MatchOnPost.
+	KindMatch
+	// KindUnexpected marks a message queuing as unexpected (instant).
+	KindUnexpected
+	// KindWait spans a rank blocked in Wait (Aux=WaitMessage) or
+	// suspended in the AMPI_Migrate collective (Aux=WaitMigrate).
+	KindWait
+	// KindColl spans one rank-level collective call; Aux is the CollOp.
+	KindColl
+	// KindMigration spans one rank migration from PE (Peer is the
+	// destination PE), pack to unpack, in virtual time.
+	KindMigration
+	// KindLink spans a message's flight on a network tier: PE is the
+	// source, Peer the destination, Aux the Tier* constant.
+	KindLink
+	// KindFSIO spans one shared-filesystem transfer (after queueing on
+	// the shared bandwidth resource).
+	KindFSIO
+	// KindRunEnd marks job completion at the final virtual time.
+	KindRunEnd
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindEngineEvent: "engine_event",
+	KindSetup:       "setup",
+	KindIdle:        "idle",
+	KindSwitch:      "switch",
+	KindExec:        "exec",
+	KindSendPost:    "send_post",
+	KindRecvPost:    "recv_post",
+	KindMatch:       "match",
+	KindUnexpected:  "unexpected",
+	KindWait:        "wait",
+	KindColl:        "coll",
+	KindMigration:   "migration",
+	KindLink:        "link",
+	KindFSIO:        "fs_io",
+	KindRunEnd:      "run_end",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Aux values for KindMatch.
+const (
+	// MatchOnDeliver: an arriving message found a posted receive.
+	MatchOnDeliver int32 = 0
+	// MatchOnPost: a posted receive found a queued unexpected message.
+	MatchOnPost int32 = 1
+)
+
+// Aux values for KindWait.
+const (
+	// WaitMessage: blocked in Wait on a receive.
+	WaitMessage int32 = 0
+	// WaitMigrate: suspended in the AMPI_Migrate collective.
+	WaitMigrate int32 = 1
+)
+
+// CollOp codes carried in Event.Aux for KindColl events.
+const (
+	CollBarrier int32 = iota
+	CollBcast
+	CollReduce
+	CollAllreduce
+	CollGather
+	CollScatter
+	CollAllgather
+	CollAlltoall
+	CollScan
+	CollExscan
+	CollReduceScatter
+)
+
+var collNames = [...]string{
+	CollBarrier:       "barrier",
+	CollBcast:         "bcast",
+	CollReduce:        "reduce",
+	CollAllreduce:     "allreduce",
+	CollGather:        "gather",
+	CollScatter:       "scatter",
+	CollAllgather:     "allgather",
+	CollAlltoall:      "alltoall",
+	CollScan:          "scan",
+	CollExscan:        "exscan",
+	CollReduceScatter: "reduce_scatter",
+}
+
+// CollName names a CollOp code.
+func CollName(op int32) string {
+	if op >= 0 && int(op) < len(collNames) {
+		return collNames[op]
+	}
+	return "coll?"
+}
+
+// Network tier codes carried in Event.Aux for KindLink events.
+const (
+	TierSharedMem int32 = iota
+	TierIntraNode
+	TierInterNode
+)
+
+var tierNames = [...]string{
+	TierSharedMem: "shm",
+	TierIntraNode: "intra_node",
+	TierInterNode: "inter_node",
+}
+
+// TierName names a network tier code.
+func TierName(tier int32) string {
+	if tier >= 0 && int(tier) < len(tierNames) {
+		return tierNames[tier]
+	}
+	return "tier?"
+}
+
+// Event is one trace record. It is a fixed-size value — hook sites
+// build it on the stack and hand it to the Tracer by value, so an
+// enabled trace costs one slice append per event and a disabled one
+// costs a nil check. Fields that do not apply to a Kind are -1 (ids)
+// or 0 (quantities).
+type Event struct {
+	// Time is the event's virtual start time.
+	Time time.Duration
+	// Dur is the span length; 0 for instantaneous events.
+	Dur time.Duration
+	// Kind classifies the event.
+	Kind Kind
+	// PE is the processing element (or source PE for KindLink); -1 if
+	// not PE-bound.
+	PE int32
+	// VP is the virtual rank; -1 for PE- or machine-level events.
+	VP int32
+	// Peer is the other party: destination rank for sends, source rank
+	// for matches, previous thread for switches, destination PE for
+	// links and migrations; -1 when absent.
+	Peer int32
+	// Tag is the message tag (point-to-point events).
+	Tag int32
+	// Aux carries a kind-specific code: CollOp, Tier, Match*, Wait*.
+	Aux int32
+	// Comm is the communicator id (point-to-point events).
+	Comm int64
+	// Bytes is the payload/wire size where applicable.
+	Bytes uint64
+}
+
+// Tracer receives trace events. Implementations must not mutate
+// simulation state; the runtime guarantees Emit is called from the
+// world's single logical thread, in deterministic order.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Recorder is the standard Tracer: it filters by Kind and accumulates
+// events in memory for later export or profiling.
+type Recorder struct {
+	mask   uint64
+	events []Event
+}
+
+// DefaultKinds is every Kind except KindEngineEvent, whose one-record-
+// per-dispatch volume swamps a trace without adding timeline structure.
+func DefaultKinds() []Kind {
+	ks := make([]Kind, 0, numKinds-1)
+	for k := Kind(0); k < numKinds; k++ {
+		if k != KindEngineEvent {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// AllKinds lists every Kind, including KindEngineEvent.
+func AllKinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for k := range ks {
+		ks[k] = Kind(k)
+	}
+	return ks
+}
+
+// NewRecorder returns a recorder capturing the given kinds; with no
+// arguments it captures DefaultKinds.
+func NewRecorder(kinds ...Kind) *Recorder {
+	r := &Recorder{}
+	if len(kinds) == 0 {
+		kinds = DefaultKinds()
+	}
+	for _, k := range kinds {
+		r.mask |= 1 << k
+	}
+	return r
+}
+
+// Emit records the event if its kind is selected.
+func (r *Recorder) Emit(ev Event) {
+	if r.mask&(1<<ev.Kind) == 0 {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded events in emission order. The slice is
+// owned by the recorder; callers must not mutate it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset discards recorded events, keeping the kind selection.
+func (r *Recorder) Reset() { r.events = r.events[:0] }

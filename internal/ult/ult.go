@@ -16,6 +16,7 @@ import (
 
 	"provirt/internal/machine"
 	"provirt/internal/sim"
+	"provirt/internal/trace"
 )
 
 // State is a thread's lifecycle state.
@@ -235,6 +236,11 @@ type Scheduler struct {
 	// Spans holds one entry per scheduling quantum when Trace is on.
 	Spans []Span
 
+	// Tracer, when non-nil, receives context-switch, execution-quantum,
+	// and PE-idle events on the virtual clock. The nil default costs
+	// the scheduling loop one pointer comparison per quantum.
+	Tracer trace.Tracer
+
 	// Stats
 	switches   uint64
 	switchTime sim.Time
@@ -332,6 +338,10 @@ func (s *Scheduler) pass() {
 	s.inPass = true
 	defer func() { s.inPass = false }()
 	if now := s.Engine.Now(); now > s.now {
+		if s.Tracer != nil {
+			s.Tracer.Emit(trace.Event{Time: s.now, Dur: now - s.now, Kind: trace.KindIdle,
+				PE: int32(s.PE.ID), VP: -1, Peer: -1})
+		}
 		s.now = now
 	}
 	for len(s.ready) > 0 {
@@ -341,10 +351,19 @@ func (s *Scheduler) pass() {
 			continue
 		}
 		// Charge the context switch: scheduler overhead plus the
-		// privatization method's extra work.
+		// privatization method's extra work (stack switch, TLS segment
+		// pointer update, GOT swap).
 		cost := s.Cost.ULTSwitchBase
 		if s.SwitchExtra != nil {
 			cost += s.SwitchExtra(s.last, t)
+		}
+		if s.Tracer != nil {
+			from := int32(-1)
+			if s.last != nil {
+				from = int32(s.last.ID)
+			}
+			s.Tracer.Emit(trace.Event{Time: s.now, Dur: cost, Kind: trace.KindSwitch,
+				PE: int32(s.PE.ID), VP: int32(t.ID), Peer: from})
 		}
 		s.now += cost
 		s.switches++
@@ -354,6 +373,10 @@ func (s *Scheduler) pass() {
 		t.run()
 		if s.Trace {
 			s.Spans = append(s.Spans, Span{VP: t.ID, Start: start, End: s.now})
+		}
+		if s.Tracer != nil {
+			s.Tracer.Emit(trace.Event{Time: start, Dur: s.now - start, Kind: trace.KindExec,
+				PE: int32(s.PE.ID), VP: int32(t.ID), Peer: -1})
 		}
 	}
 }
