@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test bench race vet ci
+# Which committed benchmark record bench-json refreshes.
+BENCH_JSON ?= BENCH_3.json
+
+.PHONY: all build test bench bench-json race race-full vet ci
 
 all: build test
 
@@ -14,10 +17,19 @@ test:
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
+# Machine-readable benchmark record: name -> ns/op, B/op, allocs/op.
+# Committed so benchmark movement shows up in diffs.
+bench-json:
+	$(GO) test -run xxx -bench . -benchmem ./... | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+
 # The sweep runner and the per-world pools are the only code that runs
 # under parallelism; race-check the packages that exercise them.
 race:
 	$(GO) test -race ./internal/harness/... ./internal/ampi/...
+
+# Full race sweep over every package, as CI's race job runs it.
+race-full:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` text output (on stdin)
+// into a stable JSON document mapping benchmark name to its measured
+// ns/op, B/op, and allocs/op. CI uses it to commit machine-readable
+// benchmark records (BENCH_*.json) next to the prose results, so
+// regressions show up in diffs.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. BytesPerOp/AllocsPerOp are
+// present only when the run used -benchmem.
+type Result struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkHeapLookup/1024-8   50000   28941 ns/op   96 B/op   2 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// gomaxprocsSuffix strips the trailing -N processor-count tag so names
+// are stable across machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func parseLine(line string) (string, Result, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return "", Result{}, false
+	}
+	name := gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(m[1], "Benchmark"), "")
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	r := Result{Iterations: iters}
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+		case "B/op":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.BytesPerOp = &n
+			}
+		case "allocs/op":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = &n
+			}
+		case "MB/s":
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				r.MBPerSec = &f
+			}
+		}
+	}
+	return name, r, true
+}
+
+func main() {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if name, r, ok := parseLine(sc.Text()); ok {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	// json.Marshal sorts map keys, so output is deterministic, but emit
+	// through an explicit ordered structure for indented readability.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		enc, err := json.Marshal(results[n])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "  %s: %s", mustMarshal(n), enc)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	os.Stdout.WriteString(b.String())
+}
+
+func mustMarshal(s string) string {
+	enc, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return string(enc)
+}

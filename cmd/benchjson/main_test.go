@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkHeapLookup/1024-8  \t  50000\t     28941 ns/op\t      96 B/op\t       2 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if name != "HeapLookup/1024" {
+		t.Errorf("name %q, want HeapLookup/1024 (processor suffix stripped)", name)
+	}
+	if r.Iterations != 50000 || r.NsPerOp != 28941 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 96 || r.AllocsPerOp == nil || *r.AllocsPerOp != 2 {
+		t.Errorf("memstats not parsed: %+v", r)
+	}
+
+	name, r, ok = parseLine("BenchmarkMigrateRank-16   	    2906	    412345.5 ns/op")
+	if !ok || name != "MigrateRank" {
+		t.Fatalf("plain line: ok=%v name=%q", ok, name)
+	}
+	if r.NsPerOp != 412345.5 || r.BytesPerOp != nil {
+		t.Errorf("parsed %+v", r)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  	provirt/internal/mem	12.3s",
+		"--- BENCH: BenchmarkFoo",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("non-benchmark line recognized: %q", line)
+		}
+	}
+}

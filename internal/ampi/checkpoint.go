@@ -16,8 +16,13 @@ import (
 type Checkpoint struct {
 	Dir      string
 	Payloads []*core.MigrationPayload
-	// Bytes is the total snapshot size written to the filesystem.
-	Bytes uint64
+	// Bytes is the total logical snapshot size; DeltaBytes is what this
+	// checkpoint actually wrote to the filesystem (dirty blocks only,
+	// once each rank has a previous snapshot to be incremental
+	// against). A job's first checkpoint writes everything, so there
+	// DeltaBytes == Bytes.
+	Bytes      uint64
+	DeltaBytes uint64
 	// Taken is the virtual time the snapshot completed (slowest rank).
 	Taken sim.Time
 	// VPs records the rank count for restart validation.
@@ -59,11 +64,13 @@ func (w *World) runCheckpoint(dir string) {
 			return
 		}
 		ck.Payloads = append(ck.Payloads, payload)
-		bytes := payload.Bytes()
-		ck.Bytes += bytes
-		// Writes contend on the shared filesystem; each rank resumes
-		// when its file is durable.
-		done := w.Cluster.FS.WriteFile(sync, checkpointPath(dir, r.vp), bytes)
+		ck.Bytes += payload.Bytes()
+		// Writes contend on the shared filesystem and are incremental:
+		// each rank pays for the bytes that changed since its previous
+		// snapshot and resumes when its file is durable.
+		delta := payload.DeltaBytes()
+		ck.DeltaBytes += delta
+		done := w.Cluster.FS.WriteFile(sync, checkpointPath(dir, r.vp), delta)
 		if done > ck.Taken {
 			ck.Taken = done
 		}

@@ -15,7 +15,9 @@ import (
 // from the last snapshot on the surviving node, finishing with the
 // exact uninterrupted results.
 func TestNodeFailureRecovery(t *testing.T) {
-	const total, ckptEvery = 12, 4
+	// Long enough that the 130ms failure below lands mid-run even with
+	// incremental checkpoints (only the first one pays the full write).
+	const total, ckptEvery = 20, 4
 	finals := make([]uint64, 4)
 	periodic := &ampi.Program{
 		Image: ckptImage(),

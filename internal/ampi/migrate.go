@@ -10,11 +10,15 @@ import (
 
 // MigrationRecord describes one completed rank migration.
 type MigrationRecord struct {
-	VP       int
-	FromPE   int
-	ToPE     int
-	Bytes    uint64
-	Duration sim.Time
+	VP     int
+	FromPE int
+	ToPE   int
+	// Bytes is the rank's full logical payload; DeltaBytes is what the
+	// move actually transferred (dirty blocks only, when the rank had a
+	// previous snapshot to be incremental against).
+	Bytes      uint64
+	DeltaBytes uint64
+	Duration   sim.Time
 }
 
 // Migrate is the AMPI_Migrate collective: every rank must call it. The
@@ -113,27 +117,36 @@ func (w *World) migrateRank(r *Rank, from, to int, start sim.Time) error {
 		return fmt.Errorf("ampi: balancer selected an unmigratable rank: %w", err)
 	}
 	bytes := payload.Bytes()
+	// The transport is incremental: only bytes that changed since the
+	// rank's previous serialization cross the wire. A first-ever
+	// migration has no previous snapshot, so wire == bytes and the
+	// modeled cost matches the full-copy runtime exactly.
+	wire := payload.DeltaBytes()
 	cost := w.Cluster.Cost
 	srcPE, dstPE := w.Cluster.PE(from), w.Cluster.PE(to)
 	// Pack on the source, fly, unpack on the destination.
-	depart := start + cost.CopyTime(bytes)
-	arrive := depart + w.Cluster.TransferTime(srcPE, dstPE, bytes) +
-		cost.CopyTime(bytes) + cost.MigrationOverhead
+	depart := start + cost.CopyTime(wire)
+	arrive := depart + w.Cluster.TransferTime(srcPE, dstPE, wire) +
+		cost.CopyTime(wire) + cost.MigrationOverhead
 
 	src := w.scheds[from]
 	dst := w.scheds[to]
 	src.Remove(r.thread)
 	r.pe = dstPE // messages sent mid-flight route to the destination
 	w.Cluster.Engine.At(arrive, func() {
-		if err := r.ctx.RestoreInto(payload, w.sharedInstanceOf(dstPE.Proc)); err != nil {
+		// The payload is this move's private copy and the source heap is
+		// gone; consume it zero-copy.
+		if err := r.ctx.RestoreIntoConsume(payload, w.sharedInstanceOf(dstPE.Proc)); err != nil {
 			w.fail(fmt.Errorf("ampi: restoring rank %d on PE %d: %w", r.vp, to, err))
 			return
 		}
 		dst.AdoptBlocked(r.thread)
 		w.Migrations++
 		w.MigratedBytes += bytes
+		w.MigratedDeltaBytes += wire
 		w.lastMigrations = append(w.lastMigrations, MigrationRecord{
-			VP: r.vp, FromPE: from, ToPE: to, Bytes: bytes, Duration: arrive - start,
+			VP: r.vp, FromPE: from, ToPE: to, Bytes: bytes, DeltaBytes: wire,
+			Duration: arrive - start,
 		})
 		if w.tracer != nil {
 			w.tracer.Emit(trace.Event{Time: start, Dur: arrive - start, Kind: trace.KindMigration,

@@ -107,8 +107,13 @@ type World struct {
 
 	// Migrations counts completed rank migrations.
 	Migrations int
-	// MigratedBytes counts payload bytes moved by migrations.
+	// MigratedBytes counts full logical payload bytes moved by
+	// migrations.
 	MigratedBytes uint64
+	// MigratedDeltaBytes counts the bytes migrations actually pushed
+	// through the network: dirty blocks only, once a rank has a
+	// previous snapshot to be incremental against.
+	MigratedDeltaBytes uint64
 	// SkippedBalances counts Migrate collectives where the trigger
 	// declined to rebalance.
 	SkippedBalances int

@@ -65,6 +65,13 @@ type RankContext struct {
 
 	// Per-variable resolution, indexed by elf.Var.Index.
 	cells []cellRef
+	// rcells memoizes the resolved cell pointer (and the heap block a
+	// store must dirty) per variable; an entry is valid while its epoch
+	// matches the context's. See resolve.
+	rcells []resolvedCell
+	// epoch versions every resolved cell pointer: restore/migration and
+	// method setup bump it, invalidating all cached resolutions at once.
+	epoch uint64
 	// tlsSlot maps a variable index to its slot in TLS, or -1.
 	tlsSlot []int
 	// heapCells is the per-rank privatized-copy block for manual /
@@ -92,6 +99,18 @@ type cellRef struct {
 	cost sim.Time // per-access charge
 }
 
+// resolvedCell is the access fast path for one variable: the storage
+// cell's address and cost, resolved once per epoch so inner loops skip
+// the name lookup and the storage-kind switch.
+type resolvedCell struct {
+	epoch uint64
+	cell  *uint64
+	cost  sim.Time
+	// blk is the heap block backing the cell, if any; stores touch it
+	// so incremental snapshots re-copy the block.
+	blk *mem.Block
+}
+
 // newContext returns a context with heap + stack prepared; methods fill
 // in storage resolution.
 func newContext(m Method, env *ProcessEnv, img *elf.Image, shared *elf.Instance, vp int) (*RankContext, error) {
@@ -114,6 +133,8 @@ func newContext(m Method, env *ProcessEnv, img *elf.Image, shared *elf.Instance,
 		costModel: env.Cost,
 	}
 	c.cells = make([]cellRef, len(img.Vars))
+	c.rcells = make([]resolvedCell, len(img.Vars))
+	c.epoch = 1 // zero-valued rcells entries are never current
 	c.tlsSlot = make([]int, len(img.Vars))
 	for i := range c.tlsSlot {
 		c.tlsSlot[i] = -1
@@ -145,6 +166,38 @@ func (c *RankContext) storage(v *elf.Var) (*uint64, error) {
 	}
 }
 
+// invalidateResolutions discards every cached cell pointer; the next
+// access through any handle re-resolves against the context's current
+// storage. Called whenever storage moves: migration restore, method
+// setup.
+func (c *RankContext) invalidateResolutions() { c.epoch++ }
+
+// resolve returns the variable's current fast-path entry, refreshing it
+// if the context's storage changed since it was last resolved.
+func (c *RankContext) resolve(v *elf.Var) *resolvedCell {
+	rc := &c.rcells[v.Index]
+	if rc.epoch == c.epoch {
+		return rc
+	}
+	cell, err := c.storage(v)
+	if err != nil {
+		panic(err)
+	}
+	ref := c.cells[v.Index]
+	rc.cell, rc.cost, rc.blk, rc.epoch = cell, ref.cost, nil, c.epoch
+	switch ref.kind {
+	case storeHeapCell:
+		rc.blk = c.heapCells
+	case storePrivSeg:
+		if c.pieDataAddr != 0 {
+			// PIE private-segment cells live inside the duplicated data
+			// segment's heap block; stores must dirty it.
+			rc.blk = c.Heap.Lookup(c.pieDataAddr)
+		}
+	}
+	return rc
+}
+
 // Var returns an access handle for the named variable. Unknown names
 // are programming errors and panic, matching the behaviour of an
 // undefined symbol at link time.
@@ -173,14 +226,7 @@ func (c *RankContext) Accesses() uint64 { return c.accesses }
 // model inner loops that touch privatized globals billions of times
 // without executing each touch.
 func (c *RankContext) ChargeAccesses(name string, n uint64) {
-	v := c.Img.VarByName(name)
-	if v == nil {
-		panic(fmt.Sprintf("core: program %q has no variable %q", c.Img.Name, name))
-	}
-	if c.Thread != nil {
-		c.Thread.Advance(sim.Time(n) * c.cells[v.Index].cost)
-	}
-	c.accesses += n
+	c.Var(name).Charge(n)
 }
 
 // VarHandle is a resolved accessor for one variable in one rank's
@@ -216,18 +262,17 @@ func (h VarHandle) Addr() uint64 {
 	}
 }
 
-// Load reads the variable, charging the method's access cost.
+// Load reads the variable, charging the method's access cost. Handles
+// survive migration: the cached resolution re-resolves automatically
+// when the context's storage epoch advances.
 func (h VarHandle) Load() uint64 {
 	c := h.ctx
-	cell, err := c.storage(h.v)
-	if err != nil {
-		panic(err)
-	}
+	rc := c.resolve(h.v)
 	if c.Thread != nil {
-		c.Thread.Advance(c.cells[h.v.Index].cost)
+		c.Thread.Advance(rc.cost)
 	}
 	c.accesses++
-	return *cell
+	return *rc.cell
 }
 
 // Store writes the variable, charging the method's access cost. Writing
@@ -238,15 +283,31 @@ func (h VarHandle) Store(val uint64) {
 		panic(fmt.Sprintf("core: store to const variable %s", h.v.Name))
 	}
 	c := h.ctx
-	cell, err := c.storage(h.v)
-	if err != nil {
-		panic(err)
-	}
+	rc := c.resolve(h.v)
 	if c.Thread != nil {
-		c.Thread.Advance(c.cells[h.v.Index].cost)
+		c.Thread.Advance(rc.cost)
 	}
 	c.accesses++
-	*cell = val
+	*rc.cell = val
+	if rc.blk != nil {
+		rc.blk.Touch()
+	}
+}
+
+// Charge bills the cost of n accesses to the variable without
+// performing them — the bulk fast path behind ChargeAccesses. The
+// batch may include stores, so the backing heap block (if any) is
+// conservatively dirtied.
+func (h VarHandle) Charge(n uint64) {
+	c := h.ctx
+	rc := c.resolve(h.v)
+	if c.Thread != nil {
+		c.Thread.Advance(sim.Time(n) * rc.cost)
+	}
+	c.accesses += n
+	if rc.blk != nil {
+		rc.blk.Touch()
+	}
 }
 
 // Privatized reports whether the rank sees private storage for the
@@ -260,6 +321,7 @@ func (h VarHandle) Privatized() bool {
 // the storage for mutable variables; const variables always resolve to
 // the shared instance.
 func (c *RankContext) resolveAll(env *ProcessEnv, decide func(v *elf.Var) cellRef) {
+	c.invalidateResolutions()
 	direct := accessCost(env.Cost, false)
 	for _, v := range c.Img.Vars {
 		if !v.Mutable() {

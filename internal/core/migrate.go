@@ -18,11 +18,19 @@ type MigrationPayload struct {
 	TLS  []uint64
 }
 
-// Bytes reports the on-the-wire size of the payload: every live heap
+// Bytes reports the full logical size of the payload: every live heap
 // byte (user data, ULT stack, and — under PIEglobals — the code and
 // data segments) plus the TLS block.
 func (p *MigrationPayload) Bytes() uint64 {
 	return p.Heap.Bytes() + uint64(len(p.TLS))*8
+}
+
+// DeltaBytes reports the bytes that actually changed since the rank's
+// previous serialization: the dirty heap blocks plus the TLS block
+// (which is small and always copied). A rank's first serialization has
+// no predecessor, so its delta equals Bytes().
+func (p *MigrationPayload) DeltaBytes() uint64 {
+	return p.Heap.DeltaBytes() + uint64(len(p.TLS))*8
 }
 
 // Serialize captures the rank's migratable state, or explains why the
@@ -49,10 +57,30 @@ func (c *RankContext) Serialize() (*MigrationPayload, error) {
 // destination process's base instance — unprivatized state is
 // per-process, so a migrated rank sees the destination's copy.
 func (c *RankContext) RestoreInto(p *MigrationPayload, destShared *elf.Instance) error {
+	return c.restoreInto(p, destShared, false)
+}
+
+// RestoreIntoConsume is RestoreInto for payloads the caller owns
+// exclusively and discards afterwards — the migration path, where the
+// source rank's heap dies with the move. Dirty-block payloads are
+// adopted zero-copy instead of being copied a second time. The payload
+// must not be restored again (a kept checkpoint must use RestoreInto).
+func (c *RankContext) RestoreIntoConsume(p *MigrationPayload, destShared *elf.Instance) error {
+	return c.restoreInto(p, destShared, true)
+}
+
+func (c *RankContext) restoreInto(p *MigrationPayload, destShared *elf.Instance, consume bool) error {
 	if p.VP != c.VP {
 		return fmt.Errorf("core: payload for rank %d restored into context of rank %d", p.VP, c.VP)
 	}
-	c.Heap = mem.Restore(p.Heap)
+	if consume {
+		c.Heap = mem.RestoreConsume(p.Heap)
+	} else {
+		c.Heap = mem.Restore(p.Heap)
+	}
+	// Every cached cell pointer referenced the old heap, TLS block, and
+	// instances; force handles to re-resolve.
+	c.invalidateResolutions()
 	stack := c.Heap.Lookup(c.Stack.Addr)
 	if stack == nil {
 		return fmt.Errorf("core: rank %d: restored heap lost the ULT stack at %#x", c.VP, c.Stack.Addr)

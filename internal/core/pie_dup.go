@@ -46,7 +46,7 @@ func duplicateInstance(env *ProcessEnv, src *elf.Instance, heap *mem.Heap, opts 
 		// §6 future work: the rank's code is a read-only mapping of
 		// one shared descriptor — page tables only, no copy, no
 		// resident footprint, no migration payload.
-		codeBlk.Shared = true
+		heap.MarkShared(codeBlk)
 		cost += env.Cost.CopyTime(dataBytes)
 	} else {
 		cost += env.Cost.CopyTime(img.CodeSize + dataBytes)

@@ -17,6 +17,7 @@ package elf
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // StorageClass classifies a program variable the way the paper's §2.2
@@ -192,10 +193,23 @@ type Image struct {
 
 	byName   map[string]*Var
 	fnByName map[string]*Func
+
+	// varLookups counts VarByName calls — the symbol-table probes a
+	// program performs. Workload inner loops are expected to resolve a
+	// handle once and reuse it, so tests assert this stays bounded by
+	// setup work rather than scaling with accesses. Atomic because
+	// harness sweeps may run worlds sharing an image across goroutines.
+	varLookups atomic.Int64
 }
 
 // VarByName returns the declared variable or nil.
-func (img *Image) VarByName(name string) *Var { return img.byName[name] }
+func (img *Image) VarByName(name string) *Var {
+	img.varLookups.Add(1)
+	return img.byName[name]
+}
+
+// VarLookups reports how many VarByName probes the image has served.
+func (img *Image) VarLookups() int64 { return img.varLookups.Load() }
 
 // FuncByName returns the declared function or nil.
 func (img *Image) FuncByName(name string) *Func { return img.fnByName[name] }

@@ -51,8 +51,17 @@ func MemoryFootprint() ([]MemoryRow, *trace.Table, error) {
 		ctx := w.Ranks[0].Ctx()
 		var bytes uint64
 		// Heap-resident privatization state (PIE segment copies,
-		// swap/manual cells) minus the stack ballast.
-		bytes += ctx.Heap.ResidentBytes() - ctx.Stack.Size
+		// swap/manual cells) minus the stack ballast. Subtract what the
+		// stack block actually contributes to ResidentBytes — if it
+		// were ever shared-backed or ballast-accounted differently,
+		// subtracting its nominal Size would underflow the unsigned
+		// total.
+		resident := ctx.Heap.ResidentBytes()
+		var stackResident uint64
+		if blk := ctx.Heap.Lookup(ctx.Stack.Addr); blk != nil && !blk.Shared {
+			stackResident = blk.Size
+		}
+		bytes += resident - stackResident
 		// TLS block.
 		bytes += uint64(len(ctx.TLS)) * 8
 		// Linker-held per-rank copies (PIP namespaces, FS copies).

@@ -79,8 +79,13 @@ const (
 
 // AddressSpace is one OS process's view of virtual memory.
 type AddressSpace struct {
-	next    uint64
+	next uint64
+	// regions maps a region's base to the region; index keeps the same
+	// regions sorted by base for O(log n) containment and overlap
+	// checks.
 	regions map[uint64]*Region
+	index   []*Region
+	mapped  uint64
 }
 
 // NewAddressSpace returns an empty address space.
@@ -89,6 +94,20 @@ func NewAddressSpace() *AddressSpace {
 		next:    mmapBase,
 		regions: make(map[uint64]*Region),
 	}
+}
+
+// indexInsert places r into the sorted base index; the mmap arena grows
+// upward, so the common case appends.
+func (as *AddressSpace) indexInsert(r *Region) {
+	n := len(as.index)
+	if n == 0 || as.index[n-1].Base < r.Base {
+		as.index = append(as.index, r)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return as.index[i].Base > r.Base })
+	as.index = append(as.index, nil)
+	copy(as.index[i+1:], as.index[i:])
+	as.index[i] = r
 }
 
 func roundUp(n uint64) uint64 {
@@ -112,6 +131,8 @@ func (as *AddressSpace) Mmap(size uint64, label string) *Region {
 	}
 	as.next += r.Size + PageSize // guard page
 	as.regions[r.Base] = r
+	as.indexInsert(r)
+	as.mapped += r.Size
 	return r
 }
 
@@ -122,54 +143,52 @@ func (as *AddressSpace) MapFixed(base, size uint64, label string, owner int) (*R
 		return nil, fmt.Errorf("mem: MapFixed with zero size")
 	}
 	size = roundUp(size)
-	for _, r := range as.regions {
-		if base < r.End() && r.Base < base+size {
-			return nil, fmt.Errorf("mem: fixed mapping [%#x,%#x) overlaps %s [%#x,%#x)",
-				base, base+size, r.Label, r.Base, r.End())
-		}
+	// The new range [base,base+size) can only collide with the region
+	// whose base precedes its end first — regions are disjoint and
+	// sorted, so one binary-search probe decides.
+	i := sort.Search(len(as.index), func(i int) bool { return as.index[i].End() > base })
+	if i < len(as.index) && as.index[i].Base < base+size {
+		r := as.index[i]
+		return nil, fmt.Errorf("mem: fixed mapping [%#x,%#x) overlaps %s [%#x,%#x)",
+			base, base+size, r.Label, r.Base, r.End())
 	}
 	r := &Region{Base: base, Size: size, Kind: IsoRegion, Label: label, Owner: owner}
 	as.regions[r.Base] = r
+	as.indexInsert(r)
+	as.mapped += r.Size
 	return r, nil
 }
 
 // Unmap removes the region starting at base.
 func (as *AddressSpace) Unmap(base uint64) error {
-	if _, ok := as.regions[base]; !ok {
+	r, ok := as.regions[base]
+	if !ok {
 		return fmt.Errorf("mem: unmap of unmapped base %#x", base)
 	}
 	delete(as.regions, base)
+	i := sort.Search(len(as.index), func(i int) bool { return as.index[i].Base >= base })
+	copy(as.index[i:], as.index[i+1:])
+	as.index = as.index[:len(as.index)-1]
+	as.mapped -= r.Size
 	return nil
 }
 
 // Find returns the region containing addr, or nil.
 func (as *AddressSpace) Find(addr uint64) *Region {
-	for _, r := range as.regions {
-		if r.Contains(addr) {
-			return r
-		}
+	i := sort.Search(len(as.index), func(i int) bool { return as.index[i].End() > addr })
+	if i < len(as.index) && as.index[i].Base <= addr {
+		return as.index[i]
 	}
 	return nil
 }
 
 // Regions returns all mapped regions ordered by base address.
 func (as *AddressSpace) Regions() []*Region {
-	out := make([]*Region, 0, len(as.regions))
-	for _, r := range as.regions {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
-	return out
+	return append([]*Region(nil), as.index...)
 }
 
 // MappedBytes reports the total size of all mapped regions.
-func (as *AddressSpace) MappedBytes() uint64 {
-	var n uint64
-	for _, r := range as.regions {
-		n += r.Size
-	}
-	return n
-}
+func (as *AddressSpace) MappedBytes() uint64 { return as.mapped }
 
 // RankRangeBase returns the base of virtual rank vp's reserved Isomalloc
 // range. The value is a pure function of vp, identical in every process.

@@ -1,0 +1,116 @@
+package mem_test
+
+import (
+	"fmt"
+	"testing"
+
+	"provirt/internal/mem"
+)
+
+// benchSizes are the heap populations swept by every micro-benchmark:
+// a small rank, a realistic rank, and a pathological one.
+var benchSizes = []int{64, 1024, 16384}
+
+// buildHeap returns a heap holding n live 256-byte blocks and the
+// address of every block.
+func buildHeap(b *testing.B, n int) (*mem.Heap, []uint64) {
+	b.Helper()
+	h := mem.NewHeap(0)
+	addrs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		blk, err := h.Alloc(256, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = blk.Addr
+	}
+	return h, addrs
+}
+
+func BenchmarkHeapLookup(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("blocks=%d", n), func(b *testing.B) {
+			h, addrs := buildHeap(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if h.Lookup(addrs[i%n]) == nil {
+					b.Fatal("lookup miss")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHeapAllocFree(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("blocks=%d", n), func(b *testing.B) {
+			h, _ := buildHeap(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blk, err := h.Alloc(256, "churn")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := h.Free(blk.Addr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHeapSerialize measures steady-state snapshots of an
+// unchanged heap — the shape repeated checkpoints and load-balancing
+// rounds produce.
+func BenchmarkHeapSerialize(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("blocks=%d", n), func(b *testing.B) {
+			h, _ := buildHeap(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if h.Serialize() == nil {
+					b.Fatal("nil snapshot")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHeapAccounting covers the stats the harness polls after
+// every experiment phase.
+func BenchmarkHeapAccounting(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("blocks=%d", n), func(b *testing.B) {
+			h, _ := buildHeap(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if h.LiveBytes() == 0 || h.ResidentBytes() == 0 {
+					b.Fatal("zero accounting")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAddressSpaceFind(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("regions=%d", n), func(b *testing.B) {
+			as := mem.NewAddressSpace()
+			addrs := make([]uint64, n)
+			for i := 0; i < n; i++ {
+				addrs[i] = as.Mmap(mem.PageSize, fmt.Sprintf("seg-%d", i)).Base
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if as.Find(addrs[i%n]) == nil {
+					b.Fatal("find miss")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,301 @@
+package mem
+
+import (
+	"testing"
+)
+
+// sameArray reports whether two word slices share backing storage.
+func sameArray(a, b []uint64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// TestSerializeIncrementalSharing pins the dirty-block contract: a
+// clean block's payload is shared with the previous snapshot (no copy),
+// a touched block's payload is re-copied, and DeltaBytes reports
+// exactly the re-copied sizes.
+func TestSerializeIncrementalSharing(t *testing.T) {
+	h := NewHeap(0)
+	a, _ := h.Alloc(64, "a")
+	b, _ := h.Alloc(128, "b")
+	ballast, _ := h.AllocBallast(4096, "ballast")
+	a.Words[0], b.Words[0] = 1, 2
+
+	s1 := h.Serialize()
+	if s1.DeltaBytes() != s1.Bytes() {
+		t.Fatalf("first snapshot delta %d, want full %d", s1.DeltaBytes(), s1.Bytes())
+	}
+
+	s2 := h.Serialize()
+	if s2.DeltaBytes() != 0 {
+		t.Fatalf("unchanged heap delta %d, want 0", s2.DeltaBytes())
+	}
+	if !sameArray(s2.Blocks[0].Words, s1.Blocks[0].Words) ||
+		!sameArray(s2.Blocks[1].Words, s1.Blocks[1].Words) {
+		t.Fatal("clean blocks were re-copied instead of shared")
+	}
+
+	a.Words[0] = 42
+	a.Touch()
+	s3 := h.Serialize()
+	if s3.DeltaBytes() != a.Size {
+		t.Fatalf("delta %d after touching a, want %d", s3.DeltaBytes(), a.Size)
+	}
+	if sameArray(s3.Blocks[0].Words, s2.Blocks[0].Words) {
+		t.Fatal("dirty block shared the stale cached copy")
+	}
+	if !sameArray(s3.Blocks[1].Words, s2.Blocks[1].Words) {
+		t.Fatal("clean block was re-copied")
+	}
+	// Snapshot isolation: the earlier snapshots still see the old value.
+	if s1.Blocks[0].Words[0] != 1 || s2.Blocks[0].Words[0] != 1 || s3.Blocks[0].Words[0] != 42 {
+		t.Fatalf("snapshot isolation broken: %d / %d / %d",
+			s1.Blocks[0].Words[0], s2.Blocks[0].Words[0], s3.Blocks[0].Words[0])
+	}
+	_ = ballast
+}
+
+// TestFreePurgesSnapshotCache: recycling a freed block's struct must
+// never revive the freed generation's cached payload.
+func TestFreePurgesSnapshotCache(t *testing.T) {
+	h := NewHeap(0)
+	a, _ := h.Alloc(64, "a")
+	a.Words[0] = 7
+	h.Serialize()
+	if err := h.Free(a.Addr); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := h.Alloc(64, "b") // recycles a's struct and address
+	if b.Addr != a.Addr {
+		t.Fatalf("expected address reuse, got %#x vs %#x", b.Addr, a.Addr)
+	}
+	b.Words[0] = 9
+	s := h.Serialize()
+	if s.Blocks[len(s.Blocks)-1].Words[0] != 9 {
+		t.Fatal("snapshot revived the freed block's stale payload")
+	}
+}
+
+// TestAllocSplitsOversizedFreeBlock pins the slack-waste fix: a large
+// freed span satisfying a small request is split, and the remainder
+// stays reusable at the expected address.
+func TestAllocSplitsOversizedFreeBlock(t *testing.T) {
+	h := NewHeap(0)
+	big, _ := h.Alloc(1<<20, "big")
+	base := big.Addr
+	if err := h.Free(base); err != nil {
+		t.Fatal(err)
+	}
+	small, _ := h.Alloc(8, "small")
+	if small.Addr != base || small.Size != 8 {
+		t.Fatalf("small block [%#x,+%d), want head of the freed span [%#x,+8)", small.Addr, small.Size, base)
+	}
+	rest, _ := h.Alloc((1<<20)-8, "rest")
+	if rest.Addr != base+8 {
+		t.Fatalf("remainder reused at %#x, want %#x", rest.Addr, base+8)
+	}
+	if h.LiveBytes() != 1<<20 {
+		t.Fatalf("live bytes %d, want %d", h.LiveBytes(), 1<<20)
+	}
+	// Nothing above should have advanced the bump pointer.
+	next, _ := h.Alloc(16, "next")
+	if next.Addr != base+1<<20 {
+		t.Fatalf("bump pointer moved during free-list reuse: %#x", next.Addr)
+	}
+}
+
+// TestSnapshotRoundTripUnderChurn drives alloc/free/realloc cycles,
+// serializes, and checks the restored heap preserves addresses, labels,
+// shared flags, payloads, AND allocator behaviour: the original and the
+// restored heap must hand out identical addresses for any subsequent
+// identical allocation sequence (the Isomalloc invariant across
+// migration).
+func TestSnapshotRoundTripUnderChurn(t *testing.T) {
+	h := NewHeap(4)
+	var hold []*Block
+	for i := 0; i < 40; i++ {
+		b, err := h.Alloc(uint64(16+(i%7)*24), "churn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Words[0] = uint64(i)
+		hold = append(hold, b)
+		if i%3 == 2 { // free every third, creating reusable spans
+			victim := hold[i/3]
+			if err := h.Free(victim.Addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	shared, _ := h.AllocBallast(1<<16, "code")
+	h.MarkShared(shared)
+
+	snap := h.Serialize()
+	h2 := Restore(snap)
+
+	if h2.LiveBlocks() != h.LiveBlocks() {
+		t.Fatalf("restored %d blocks, want %d", h2.LiveBlocks(), h.LiveBlocks())
+	}
+	if h2.LiveBytes() != h.LiveBytes() || h2.ResidentBytes() != h.ResidentBytes() {
+		t.Fatalf("restored accounting %d/%d, want %d/%d",
+			h2.LiveBytes(), h2.ResidentBytes(), h.LiveBytes(), h.ResidentBytes())
+	}
+	for _, b := range h.Blocks() {
+		nb := h2.Lookup(b.Addr)
+		if nb == nil {
+			t.Fatalf("block %#x lost", b.Addr)
+		}
+		if nb.Size != b.Size || nb.Label != b.Label || nb.Shared != b.Shared {
+			t.Fatalf("block %#x metadata diverged: %+v vs %+v", b.Addr, nb, b)
+		}
+		if b.Words != nil && nb.Words[0] != b.Words[0] {
+			t.Fatalf("block %#x payload diverged", b.Addr)
+		}
+	}
+	// Free-list behaviour survives the round trip: identical subsequent
+	// allocation sequences produce identical addresses.
+	for i := 0; i < 20; i++ {
+		size := uint64(8 + (i%5)*40)
+		x1, err1 := h.Alloc(size, "post")
+		x2, err2 := h2.Alloc(size, "post")
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if x1.Addr != x2.Addr {
+			t.Fatalf("post-restore alloc %d diverged: %#x vs %#x", i, x1.Addr, x2.Addr)
+		}
+	}
+}
+
+// TestRestoreSeedsIncrementalCache: a restored heap's own first
+// serialize is already incremental — nothing changed since the
+// snapshot it was built from.
+func TestRestoreSeedsIncrementalCache(t *testing.T) {
+	h := NewHeap(5)
+	a, _ := h.Alloc(256, "a")
+	a.Words[3] = 11
+	snap := h.Serialize()
+	h2 := Restore(snap)
+	s2 := h2.Serialize()
+	if s2.DeltaBytes() != 0 {
+		t.Fatalf("restored heap's first snapshot delta %d, want 0", s2.DeltaBytes())
+	}
+	// And it shares the original snapshot's arrays rather than copying.
+	if !sameArray(s2.Blocks[0].Words, snap.Blocks[0].Words) {
+		t.Fatal("restored heap re-copied a clean block")
+	}
+	// Writes on the restored heap must not leak into either snapshot.
+	a2 := h2.Lookup(a.Addr)
+	a2.Words[3] = 99
+	a2.Touch()
+	if snap.Blocks[0].Words[3] != 11 || s2.Blocks[0].Words[3] != 11 {
+		t.Fatal("live write leaked into an immutable snapshot")
+	}
+}
+
+// TestRestoreConsumeAdoptsFreshArrays: the migration path adopts the
+// snapshot's freshly copied payloads zero-copy, while arrays shared
+// with an earlier (kept) snapshot are copied so the keeper stays
+// intact.
+func TestRestoreConsumeAdoptsFreshArrays(t *testing.T) {
+	h := NewHeap(6)
+	a, _ := h.Alloc(64, "a")
+	b, _ := h.Alloc(64, "b")
+	a.Words[0], b.Words[0] = 1, 2
+
+	ck := h.Serialize() // kept checkpoint: both blocks fresh here
+	b.Words[0] = 22
+	b.Touch()
+	mig := h.Serialize() // a clean (shared with ck), b dirty (fresh)
+
+	h2 := RestoreConsume(mig)
+	a2, b2 := h2.Lookup(a.Addr), h2.Lookup(b.Addr)
+	if !sameArray(b2.Words, mig.Blocks[1].Words) {
+		t.Fatal("fresh dirty payload was copied instead of adopted")
+	}
+	if sameArray(a2.Words, ck.Blocks[0].Words) {
+		t.Fatal("payload shared with a kept snapshot was adopted — the checkpoint is now mutable")
+	}
+	// Destination writes must not corrupt the kept checkpoint.
+	a2.Words[0] = 100
+	b2.Words[0] = 200
+	if ck.Blocks[0].Words[0] != 1 || ck.Blocks[1].Words[0] != 2 {
+		t.Fatalf("checkpoint corrupted: %d/%d", ck.Blocks[0].Words[0], ck.Blocks[1].Words[0])
+	}
+	// Adopted blocks are cached as aliased entries: the next serialize
+	// must re-copy the live array (never share it), so the snapshot sees
+	// the current content and stays immutable afterwards.
+	s := h2.Serialize()
+	if s.Blocks[1].Words[0] != 200 {
+		t.Fatal("post-consume serialize missed the adopted block's mutation")
+	}
+	if sameArray(s.Blocks[1].Words, b2.Words) {
+		t.Fatal("serialize shared a live adopted array into a snapshot")
+	}
+}
+
+// TestMigrationLoopStaysIncremental drives the full migration lifecycle
+// — serialize, consume-restore, mutate, repeat — and checks that after
+// the first full-payload round, every later round's wire delta is only
+// the touched bytes, even though consume-restore adopts arrays
+// zero-copy.
+func TestMigrationLoopStaysIncremental(t *testing.T) {
+	h := NewHeap(8)
+	hot, _ := h.Alloc(64, "hot")
+	cold, _ := h.Alloc(1<<16, "cold")
+	hot.Words[0], cold.Words[0] = 1, 100
+	hotAddr, coldAddr := hot.Addr, cold.Addr
+
+	heap := h
+	for round := 0; round < 4; round++ {
+		s := heap.Serialize()
+		if round == 0 {
+			if s.DeltaBytes() != s.Bytes() {
+				t.Fatalf("round 0 delta %d, want full %d", s.DeltaBytes(), s.Bytes())
+			}
+		} else if s.DeltaBytes() != 64 {
+			t.Fatalf("round %d delta %d, want only the 64 touched bytes", round, s.DeltaBytes())
+		}
+		heap = RestoreConsume(s)
+		hb := heap.Lookup(hotAddr)
+		hb.Words[0]++
+		hb.Touch()
+	}
+	if got := heap.Lookup(hotAddr).Words[0]; got != 5 {
+		t.Fatalf("hot cell %d after 4 rounds, want 5", got)
+	}
+	if got := heap.Lookup(coldAddr).Words[0]; got != 100 {
+		t.Fatalf("cold cell corrupted: %d", got)
+	}
+}
+
+// TestAccountingCountersMatchRescan cross-checks the maintained
+// live/resident counters against a full rescan through every mutation
+// path: alloc, ballast, split reuse, free, shared marking.
+func TestAccountingCountersMatchRescan(t *testing.T) {
+	h := NewHeap(7)
+	check := func(stage string) {
+		var live, resident uint64
+		for _, b := range h.Blocks() {
+			live += b.Size
+			if !b.Shared {
+				resident += b.Size
+			}
+		}
+		if h.LiveBytes() != live || h.ResidentBytes() != resident {
+			t.Fatalf("%s: counters %d/%d, rescan %d/%d", stage,
+				h.LiveBytes(), h.ResidentBytes(), live, resident)
+		}
+	}
+	a, _ := h.Alloc(100, "a")
+	check("alloc")
+	code, _ := h.AllocBallast(1<<14, "code")
+	check("ballast")
+	h.MarkShared(code)
+	check("markshared")
+	h.MarkShared(code) // idempotent
+	check("markshared-again")
+	h.Free(a.Addr)
+	check("free")
+	h.Alloc(24, "split") // splits a's 104-byte span
+	check("split")
+}

@@ -24,21 +24,57 @@ type Block struct {
 	// the destination re-establishes the mapping instead of receiving
 	// bytes.
 	Shared bool
+	// gen is the block's generation stamp: it advances whenever the
+	// payload may have changed, and a snapshot entry is reusable only
+	// while its recorded generation still matches. See Touch.
+	gen uint64
 }
 
 // End returns one past the last byte of the block.
 func (b *Block) End() uint64 { return b.Addr + b.Size }
 
+// Touch marks the block's payload as modified since the last snapshot.
+// The runtime's write paths (privatized stores, charge-only access
+// batches) call it automatically; code that mutates Words directly
+// between two Serialize calls on the same heap must call it by hand, or
+// the next incremental snapshot will reuse the stale cached copy.
+func (b *Block) Touch() { b.gen++ }
+
 // Heap is a per-rank Isomalloc heap: a bump allocator with free-list
 // reuse inside the rank's reserved virtual address range. All state
 // needed to reconstruct the heap in another process is serializable.
 type Heap struct {
-	vp     int
-	base   uint64
-	limit  uint64
-	brk    uint64
+	vp    int
+	base  uint64
+	limit uint64
+	brk   uint64
+	// blocks maps a block's base address to the block; index holds the
+	// same blocks sorted by address for O(log n) containment lookups and
+	// scan-free ordered iteration.
 	blocks map[uint64]*Block
-	free   []*Block // freed blocks available for exact/first-fit reuse
+	index  []*Block
+	free   []*Block // freed spans, address-ordered for deterministic reuse
+	// live/resident are running byte counters maintained by
+	// Alloc/Free/MarkShared so the accessors never rescan.
+	live     uint64
+	resident uint64
+	// clean caches, per block, the words array captured by the last
+	// Serialize and the generation it captured. While the generation
+	// still matches, the next snapshot reuses the cached array instead
+	// of copying the payload again.
+	clean map[*Block]snapEntry
+}
+
+type snapEntry struct {
+	gen   uint64
+	words []uint64 // nil for ballast blocks
+	// aliased marks an entry whose words array IS the block's live
+	// payload (a zero-copy adoption by RestoreConsume). Such an array
+	// must never be shared into a snapshot — the rank may keep writing
+	// through it — but while the generation matches, its content is
+	// known-unchanged, so re-copying it costs a local memcpy and zero
+	// wire delta.
+	aliased bool
 }
 
 // NewHeap returns an empty heap for virtual rank vp. vp must be within
@@ -83,19 +119,54 @@ func (h *Heap) AllocBallast(size uint64, label string) (*Block, error) {
 	return h.allocRaw(size, label)
 }
 
+// indexInsert places b into the sorted address index. Bump allocations
+// always land past every live block, so the common case appends.
+func (h *Heap) indexInsert(b *Block) {
+	n := len(h.index)
+	if n == 0 || h.index[n-1].Addr < b.Addr {
+		h.index = append(h.index, b)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return h.index[i].Addr > b.Addr })
+	h.index = append(h.index, nil)
+	copy(h.index[i+1:], h.index[i:])
+	h.index[i] = b
+}
+
+// indexRemove drops the block at addr from the sorted address index.
+func (h *Heap) indexRemove(addr uint64) {
+	i := sort.Search(len(h.index), func(i int) bool { return h.index[i].Addr >= addr })
+	copy(h.index[i:], h.index[i+1:])
+	h.index = h.index[:len(h.index)-1]
+}
+
 func (h *Heap) allocRaw(size uint64, label string) (*Block, error) {
 	if size == 0 {
 		return nil, fmt.Errorf("isomalloc: zero-size allocation")
 	}
 	size = align8(size)
-	// First-fit reuse from the free list.
+	// First-fit reuse from the address-ordered free list. An oversized
+	// span is split: the block takes its head, the tail stays free at
+	// the same list position (addresses stay sorted).
 	for i, f := range h.free {
-		if f.Size >= size {
-			h.free = append(h.free[:i], h.free[i+1:]...)
-			b := &Block{Addr: f.Addr, Size: f.Size, Label: label}
-			h.blocks[b.Addr] = b
-			return b, nil
+		if f.Size < size {
+			continue
 		}
+		b := f
+		b.Label = label
+		b.Shared = false
+		b.gen++ // never match a stale snapshot entry from a past life
+		if f.Size > size {
+			h.free[i] = &Block{Addr: f.Addr + size, Size: f.Size - size}
+			b.Size = size
+		} else {
+			h.free = append(h.free[:i], h.free[i+1:]...)
+		}
+		h.blocks[b.Addr] = b
+		h.indexInsert(b)
+		h.live += size
+		h.resident += size
+		return b, nil
 	}
 	if h.brk+size > h.limit {
 		return nil, fmt.Errorf("isomalloc: rank %d range exhausted (%d bytes requested)", h.vp, size)
@@ -103,6 +174,9 @@ func (h *Heap) allocRaw(size uint64, label string) (*Block, error) {
 	b := &Block{Addr: h.brk, Size: size, Label: label}
 	h.brk += size
 	h.blocks[b.Addr] = b
+	h.indexInsert(b)
+	h.live += size
+	h.resident += size
 	return b, nil
 }
 
@@ -113,55 +187,66 @@ func (h *Heap) Free(addr uint64) error {
 		return fmt.Errorf("isomalloc: free of unallocated address %#x", addr)
 	}
 	delete(h.blocks, addr)
+	h.indexRemove(addr)
+	delete(h.clean, b) // the recycled struct must never revive a stale copy
+	h.live -= b.Size
+	if !b.Shared {
+		h.resident -= b.Size
+	}
 	b.Words = nil
 	b.Label = ""
-	h.free = append(h.free, b)
+	b.gen++
+	i := sort.Search(len(h.free), func(i int) bool { return h.free[i].Addr > b.Addr })
+	h.free = append(h.free, nil)
+	copy(h.free[i+1:], h.free[i:])
+	h.free[i] = b
 	return nil
+}
+
+// MarkShared flips a live block onto shared read-only backing, moving
+// its bytes out of the rank's resident footprint. Use this rather than
+// writing Block.Shared directly so the heap's running counters stay
+// consistent.
+func (h *Heap) MarkShared(b *Block) {
+	if b.Shared {
+		return
+	}
+	b.Shared = true
+	h.resident -= b.Size
 }
 
 // Lookup returns the live block containing addr, or nil.
 func (h *Heap) Lookup(addr uint64) *Block {
-	for _, b := range h.blocks {
-		if addr >= b.Addr && addr < b.End() {
-			return b
-		}
+	i := sort.Search(len(h.index), func(i int) bool { return h.index[i].End() > addr })
+	if i < len(h.index) && h.index[i].Addr <= addr {
+		return h.index[i]
 	}
 	return nil
 }
 
 // LiveBytes reports the total size of live allocations.
-func (h *Heap) LiveBytes() uint64 {
-	var n uint64
-	for _, b := range h.blocks {
-		n += b.Size
-	}
-	return n
-}
+func (h *Heap) LiveBytes() uint64 { return h.live }
 
 // ResidentBytes reports live allocation bytes excluding blocks backed
 // by shared read-only mappings — the per-rank physical memory
 // footprint.
-func (h *Heap) ResidentBytes() uint64 {
-	var n uint64
-	for _, b := range h.blocks {
-		if !b.Shared {
-			n += b.Size
-		}
-	}
-	return n
-}
+func (h *Heap) ResidentBytes() uint64 { return h.resident }
 
 // LiveBlocks reports the number of live allocations.
 func (h *Heap) LiveBlocks() int { return len(h.blocks) }
 
 // Blocks returns live blocks ordered by address.
 func (h *Heap) Blocks() []*Block {
-	out := make([]*Block, 0, len(h.blocks))
-	for _, b := range h.blocks {
-		out = append(out, b)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
-	return out
+	return append([]*Block(nil), h.index...)
+}
+
+// FreeSpan is one reusable gap in a serialized heap. Restoring the free
+// list alongside the blocks keeps the Isomalloc invariant across
+// migration: the same allocation sequence produces the same addresses
+// whether or not the rank moved in between.
+type FreeSpan struct {
+	Addr uint64
+	Size uint64
 }
 
 // Snapshot is a serialized heap image: everything another process needs
@@ -170,48 +255,199 @@ type Snapshot struct {
 	VP     int
 	Brk    uint64
 	Blocks []Block
+	// FreeSpans is the allocator's free list, address-ordered.
+	FreeSpans []FreeSpan
+	// fresh marks blocks whose words array was copied by this Serialize
+	// (as opposed to shared with an earlier snapshot); only a fresh
+	// array may be adopted zero-copy by RestoreConsume.
+	fresh []bool
+	// delta is the payload bytes that actually had to be copied: the
+	// incremental cost of this snapshot given the previous one.
+	delta uint64
 }
 
-// Bytes reports the number of payload bytes the snapshot transfers on
-// the wire (live block sizes; free-list structure travels as
-// metadata). Blocks backed by shared mappings travel as metadata only:
-// the destination remaps them instead of receiving their bytes.
+// Bytes reports the number of payload bytes the snapshot logically
+// carries (live block sizes; free-list structure travels as metadata).
+// Blocks backed by shared mappings travel as metadata only: the
+// destination remaps them instead of receiving their bytes.
 func (s *Snapshot) Bytes() uint64 {
 	var n uint64
-	for _, b := range s.Blocks {
-		if !b.Shared {
-			n += b.Size
+	for i := range s.Blocks {
+		if !s.Blocks[i].Shared {
+			n += s.Blocks[i].Size
 		}
 	}
 	return n
 }
 
-// Serialize captures the heap for migration.
+// DeltaBytes reports the payload bytes that changed since the previous
+// snapshot of the same heap — the incremental cost an
+// incremental-aware transport or filesystem pays. The first snapshot of
+// a heap has no predecessor, so its delta equals Bytes().
+func (s *Snapshot) DeltaBytes() uint64 { return s.delta }
+
+// Serialize captures the heap for migration or checkpoint. Snapshots
+// are incremental: a block untouched since the previous Serialize
+// shares that snapshot's words array instead of being copied again,
+// and all blocks that do need copying go through one pooled buffer.
+// The returned snapshot is immutable and remains valid after the heap
+// changes or is discarded.
 func (h *Heap) Serialize() *Snapshot {
-	snap := &Snapshot{VP: h.vp, Brk: h.brk}
-	for _, b := range h.Blocks() {
+	snap := &Snapshot{
+		VP:     h.vp,
+		Brk:    h.brk,
+		Blocks: make([]Block, 0, len(h.index)),
+		fresh:  make([]bool, len(h.index)),
+	}
+	if len(h.free) > 0 {
+		snap.FreeSpans = make([]FreeSpan, len(h.free))
+		for i, f := range h.free {
+			snap.FreeSpans[i] = FreeSpan{Addr: f.Addr, Size: f.Size}
+		}
+	}
+	if h.clean == nil {
+		h.clean = make(map[*Block]snapEntry, len(h.index))
+	}
+	// One pooled buffer backs every payload copy this snapshot makes:
+	// dirty blocks, plus clean blocks whose cached array aliases the live
+	// payload (adopted by a prior RestoreConsume) — those are re-copied
+	// locally so the snapshot stays immutable, but charge no delta.
+	var copyWords int
+	for _, b := range h.index {
+		if b.Words == nil {
+			continue
+		}
+		if e, ok := h.clean[b]; !ok || e.gen != b.gen || e.aliased {
+			copyWords += len(b.Words)
+		}
+	}
+	arena := make([]uint64, copyWords)
+	for i, b := range h.index {
 		cp := Block{Addr: b.Addr, Size: b.Size, Label: b.Label, Shared: b.Shared}
-		if b.Words != nil {
-			cp.Words = append([]uint64(nil), b.Words...)
+		e, cached := h.clean[b]
+		clean := cached && e.gen == b.gen
+		switch {
+		case clean && !e.aliased:
+			cp.Words = e.words
+		case b.Words == nil:
+			if !clean {
+				h.clean[b] = snapEntry{gen: b.gen}
+				snap.fresh[i] = true
+				if !b.Shared {
+					snap.delta += b.Size
+				}
+			}
+		default:
+			w := arena[:len(b.Words):len(b.Words)]
+			arena = arena[len(b.Words):]
+			copy(w, b.Words)
+			cp.Words = w
+			h.clean[b] = snapEntry{gen: b.gen, words: w}
+			snap.fresh[i] = true
+			// A clean-but-aliased block's content is unchanged since the
+			// previous snapshot: the copy is a local memcpy, not wire
+			// bytes, so it contributes nothing to the delta.
+			if !clean && !b.Shared {
+				snap.delta += b.Size
+			}
 		}
 		snap.Blocks = append(snap.Blocks, cp)
 	}
 	return snap
 }
 
-// Restore reconstructs a heap from a snapshot. Addresses are preserved
-// exactly; this is what makes Isomalloc migration transparent to any
-// pointers held in the payload.
-func Restore(snap *Snapshot) *Heap {
+// rebuild reconstructs heap structure from a snapshot; words gives, for
+// each snapshot index, the restored block's live payload (already copied
+// or adopted by the caller) and the clean-cache entry to seed for it, so
+// the restored heap's own first Serialize is already incremental.
+func rebuild(snap *Snapshot, words func(i int) ([]uint64, snapEntry)) *Heap {
 	h := NewHeap(snap.VP)
 	h.brk = snap.Brk
+	n := len(snap.Blocks)
+	structs := make([]Block, n) // one allocation for all block headers
+	h.index = make([]*Block, 0, n)
+	h.clean = make(map[*Block]snapEntry, n)
 	for i := range snap.Blocks {
-		b := snap.Blocks[i]
-		nb := &Block{Addr: b.Addr, Size: b.Size, Label: b.Label, Shared: b.Shared}
-		if b.Words != nil {
-			nb.Words = append([]uint64(nil), b.Words...)
-		}
+		cp := &snap.Blocks[i]
+		nb := &structs[i]
+		*nb = Block{Addr: cp.Addr, Size: cp.Size, Label: cp.Label, Shared: cp.Shared}
+		w, entry := words(i)
+		nb.Words = w
+		h.clean[nb] = entry // entry.gen is 0, matching the fresh block's gen
 		h.blocks[nb.Addr] = nb
+		h.index = append(h.index, nb) // snapshots are address-ordered
+		h.live += nb.Size
+		if !nb.Shared {
+			h.resident += nb.Size
+		}
+	}
+	if len(snap.FreeSpans) > 0 {
+		h.free = make([]*Block, len(snap.FreeSpans))
+		for i, f := range snap.FreeSpans {
+			h.free[i] = &Block{Addr: f.Addr, Size: f.Size}
+		}
 	}
 	return h
 }
+
+// Restore reconstructs a heap from a snapshot. Addresses are preserved
+// exactly; this is what makes Isomalloc migration transparent to any
+// pointers held in the payload. The snapshot is not consumed: payloads
+// are copied (through one pooled buffer), and the copies seed the new
+// heap's clean-block cache so its own first Serialize is already
+// incremental.
+func Restore(snap *Snapshot) *Heap {
+	var total int
+	for i := range snap.Blocks {
+		total += len(snap.Blocks[i].Words)
+	}
+	arena := make([]uint64, total)
+	return rebuild(snap, func(i int) ([]uint64, snapEntry) {
+		src := snap.Blocks[i].Words
+		if src == nil {
+			return nil, snapEntry{}
+		}
+		w := arena[:len(src):len(src)]
+		arena = arena[len(src):]
+		copy(w, src)
+		return w, snapEntry{words: src}
+	})
+}
+
+// RestoreConsume reconstructs a heap from a snapshot that the caller
+// owns exclusively and is discarding along with the source heap — the
+// migration case. Words arrays the snapshot itself copied (dirty
+// blocks) are adopted zero-copy as the live payload and cached as
+// aliased entries: a later Serialize re-copies them locally but, while
+// untouched, charges them no wire delta — so a rank migrated every
+// load-balance round still only moves its dirty bytes. Arrays shared
+// with earlier snapshots are copied so those keepers stay immutable.
+// The snapshot must not be restored again or kept as a checkpoint
+// afterwards.
+func RestoreConsume(snap *Snapshot) *Heap {
+	var shared int
+	for i := range snap.Blocks {
+		if !snap.isFresh(i) {
+			shared += len(snap.Blocks[i].Words)
+		}
+	}
+	arena := make([]uint64, shared)
+	return rebuild(snap, func(i int) ([]uint64, snapEntry) {
+		src := snap.Blocks[i].Words
+		if src == nil {
+			return nil, snapEntry{}
+		}
+		if snap.isFresh(i) {
+			// Adopted zero-copy: the live heap now owns the array, so the
+			// cache entry is marked aliased — never shared into a future
+			// snapshot, but delta-free while the generation holds.
+			return src, snapEntry{words: src, aliased: true}
+		}
+		w := arena[:len(src):len(src)]
+		arena = arena[len(src):]
+		copy(w, src)
+		return w, snapEntry{words: src}
+	})
+}
+
+func (s *Snapshot) isFresh(i int) bool { return s.fresh != nil && s.fresh[i] }

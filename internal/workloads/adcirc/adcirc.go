@@ -212,6 +212,10 @@ func runRank(cfg Config, r *ampi.Rank, results func(Result)) {
 		cacheFactor = cfg.CacheSpeedup
 	}
 
+	// One representative module variable, resolved once and held across
+	// the timestep loop (the handle survives LB migrations).
+	g0 := r.Ctx().Var("global_000")
+
 	var volume uint64
 	maxStep := 0
 	haloBytes := uint64(cfg.Width) * 8
@@ -236,8 +240,8 @@ func runRank(cfg Config, r *ampi.Rank, results func(Result)) {
 		dryCells := int(cells) - wetCells
 		work := sim.Time(wetCells)*sim.Time(cfg.WetFlops) + sim.Time(dryCells)*sim.Time(cfg.DryFlops)
 		r.Compute(sim.Time(float64(work) * cacheFactor * float64(flop)))
-		r.Ctx().ChargeAccesses("global_000", uint64(wetCells)*4)
-		r.Ctx().Store("global_000", uint64(t))
+		g0.Charge(uint64(wetCells) * 4)
+		g0.Store(uint64(t))
 
 		volume += uint64(wetCells)
 		if wetCells > maxStep {

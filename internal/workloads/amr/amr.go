@@ -160,12 +160,17 @@ func runRank(cfg Config, r *ampi.Rank, results func(Result)) {
 			}
 		}
 	}
-	r.Ctx().Store("num_blocks_owned", uint64(len(owned)))
+	// Handles held across the step loop: resolved once, re-resolved
+	// automatically after each regrid migration.
+	ctx := r.Ctx()
+	stepVar := ctx.Var("step")
+	regridCount := ctx.Var("regrid_count")
+	ctx.Store("num_blocks_owned", uint64(len(owned)))
 
 	var updates uint64
 	maxLevel := 0
 	for t := 0; t < cfg.Steps; t++ {
-		r.Ctx().Store("step", uint64(t))
+		stepVar.Store(uint64(t))
 
 		// Flux exchange: one message to each neighbor rank owning an
 		// adjacent block, sized by the finer side's boundary cells.
@@ -225,21 +230,21 @@ func runRank(cfg Config, r *ampi.Rank, results func(Result)) {
 		}
 		updates += stepUpdates
 		r.Compute(sim.Time(stepUpdates) * sim.Time(cfg.FlopsPerCell) * flop)
-		r.Ctx().ChargeAccesses("step", stepUpdates/8)
+		stepVar.Charge(stepUpdates / 8)
 
 		if cfg.RegridEvery > 0 && (t+1)%cfg.RegridEvery == 0 && t+1 < cfg.Steps {
-			r.Ctx().Store("regrid_count", r.Ctx().Load("regrid_count")+1)
+			regridCount.Store(regridCount.Load() + 1)
 			r.Migrate()
 		}
 	}
-	r.Ctx().Store("max_level_seen", uint64(maxLevel))
+	ctx.Store("max_level_seen", uint64(maxLevel))
 	r.Allreduce([]float64{float64(updates)}, ampi.OpSum)
 	if results != nil {
 		results(Result{
 			VP:          me,
 			CellUpdates: updates,
 			MaxLevel:    maxLevel,
-			Regrids:     r.Ctx().Load("regrid_count"),
+			Regrids:     regridCount.Load(),
 		})
 	}
 }

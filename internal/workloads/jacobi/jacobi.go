@@ -183,7 +183,15 @@ func runRank(cfg Config, r *ampi.Rank, results func(Result)) {
 		return (jz*py+jy)*px + jx
 	}
 
-	omega := math.Float64frombits(r.Ctx().Load("omega"))
+	// Resolve each privatized global once and hold the handle across
+	// iterations; handles survive migration (the cached resolution is
+	// epoch-invalidated), so the inner loop never re-runs the symbol
+	// lookup.
+	ctx := r.Ctx()
+	omegaVar := ctx.Var("omega")
+	iterCount := ctx.Var("iter_count")
+	sweepCalls := ctx.Var("sweep_calls")
+	omega := math.Float64frombits(omegaVar.Load())
 	cells := uint64(b.nx) * uint64(b.ny) * uint64(b.nz)
 	flop := r.World().Cluster.Cost.FlopTime
 	start := r.Wtime()
@@ -193,11 +201,11 @@ func runRank(cfg Config, r *ampi.Rank, results func(Result)) {
 		exchangeHalos(r, b, neighbor, it)
 		// The sweep's inner loop touches privatized globals per cell;
 		// charge those accesses plus the floating-point work.
-		r.Ctx().ChargeAccesses("omega", cells*cfg.AccessesPerCell)
+		omegaVar.Charge(cells * cfg.AccessesPerCell)
 		r.Compute(sim.Time(cells) * sim.Time(cfg.FlopsPerCell) * flop)
 		resid = b.sweep(omega)
-		r.Ctx().Store("iter_count", uint64(it+1))
-		r.Ctx().Store("sweep_calls", r.Ctx().Load("sweep_calls")+1)
+		iterCount.Store(uint64(it + 1))
+		sweepCalls.Store(sweepCalls.Load() + 1)
 		if cfg.MigrateEvery > 0 && (it+1)%cfg.MigrateEvery == 0 {
 			r.Migrate()
 		}
@@ -216,7 +224,7 @@ func runRank(cfg Config, r *ampi.Rank, results func(Result)) {
 		results(Result{
 			VP:        me,
 			Residual:  math.Sqrt(global[0]),
-			Sweeps:    r.Ctx().Load("sweep_calls"),
+			Sweeps:    sweepCalls.Load(),
 			LocalSum:  sum,
 			Accesses:  r.Ctx().Accesses(),
 			ElapsedNS: int64(r.Wtime() - start),

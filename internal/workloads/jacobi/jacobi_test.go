@@ -150,3 +150,38 @@ func TestAccessCounting(t *testing.T) {
 		t.Fatalf("counted %d accesses, want at least %d", accesses, min)
 	}
 }
+
+// TestInnerLoopHoldsHandles proves the solver's inner loop does not pay
+// a symbol lookup per access: ranks resolve each privatized global to a
+// VarHandle once, so the image's name-lookup count depends on setup
+// (ranks x referenced variables), not on iteration count or per-cell
+// access volume.
+func TestInnerLoopHoldsHandles(t *testing.T) {
+	lookupsFor := func(iters int) (lookups int64, accesses uint64) {
+		cfg := jacobi.Config{NX: 8, NY: 8, NZ: 8, Iters: iters, AccessesPerCell: 6}
+		prog := jacobi.New(cfg, func(res jacobi.Result) { accesses += res.Accesses })
+		w, err := ampi.NewWorld(ampi.Config{
+			Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 1},
+			VPs:       2,
+			Privatize: core.KindPIEglobals,
+		}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return prog.Image.VarLookups(), accesses
+	}
+	short, shortAcc := lookupsFor(2)
+	long, longAcc := lookupsFor(20)
+	if longAcc <= shortAcc {
+		t.Fatalf("long run charged %d accesses vs short %d: workload not exercising the loop", longAcc, shortAcc)
+	}
+	if long != short {
+		t.Fatalf("name lookups scale with iterations (%d at 2 iters, %d at 20): inner loop is re-resolving", short, long)
+	}
+	if uint64(long) >= longAcc {
+		t.Fatalf("%d lookups for %d accesses: handles are not being held", long, longAcc)
+	}
+}

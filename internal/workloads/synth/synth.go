@@ -42,10 +42,12 @@ func Hello(sink func(HelloResult)) *ampi.Program {
 		Image: HelloImage(),
 		Main: func(r *ampi.Rank) {
 			ctx := r.Ctx()
-			ctx.Store("my_rank", uint64(r.Rank()))
-			ctx.Store("calls", ctx.Load("calls")+1)
+			myRank := ctx.Var("my_rank")
+			calls := ctx.Var("calls")
+			myRank.Store(uint64(r.Rank()))
+			calls.Store(calls.Load() + 1)
 			r.Barrier()
-			sink(HelloResult{VP: r.Rank(), Printed: ctx.Load("my_rank")})
+			sink(HelloResult{VP: r.Rank(), Printed: myRank.Load()})
 		},
 	}
 }
