@@ -1,7 +1,7 @@
 GO ?= go
 
 # Which committed benchmark record bench-json refreshes.
-BENCH_JSON ?= BENCH_3.json
+BENCH_JSON ?= BENCH_4.json
 
 .PHONY: all build test bench bench-json race race-full vet ci
 
@@ -23,9 +23,10 @@ bench-json:
 	$(GO) test -run xxx -bench . -benchmem ./... | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 
 # The sweep runner and the per-world pools are the only code that runs
-# under parallelism; race-check the packages that exercise them.
+# under parallelism; race-check the packages that exercise them (the ft
+# supervisor runs inside ftsweep's parallel fan-out).
 race:
-	$(GO) test -race ./internal/harness/... ./internal/ampi/...
+	$(GO) test -race ./internal/harness/... ./internal/ampi/... ./internal/ft/...
 
 # Full race sweep over every package, as CI's race job runs it.
 race-full:

@@ -9,7 +9,8 @@
 //
 // Experiments: tables (Tables 1 & 3), fig5 (startup), fig6 (context
 // switch), fig7 (privatized access), fig8 (migration), icache (§4.5),
-// table2/fig9 (ADCIRC strong scaling).
+// table2/fig9 (ADCIRC strong scaling), ftsweep (supervised
+// time-to-solution vs MTBF).
 package main
 
 import (
@@ -20,18 +21,23 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
+	"provirt/internal/ampi"
 	"provirt/internal/core"
 	"provirt/internal/harness"
+	"provirt/internal/sim"
 	"provirt/internal/trace"
 	"provirt/internal/workloads/adcirc"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, tables, fig5, fig6, fig7, fig8, icache, table2, fig9")
+		"which experiment to run: all, tables, fig5, fig6, fig7, fig8, icache, table2, fig9, ftsweep")
 	nodes := flag.Int("nodes", 1, "node count for fig5")
 	coresFlag := flag.String("cores", "1,2,4,8,16,32,64", "core counts for table2/fig9")
+	mtbfFlag := flag.String("mtbf", "",
+		"comma-separated MTBF durations for ftsweep (e.g. 120ms,480ms); empty uses the default list")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for experiment sweeps; each simulation stays single-threaded and seeded, so output is identical at any setting (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -47,6 +53,10 @@ func main() {
 	traceCores := flag.Int("trace-cores", 1, "core count of the table2/fig9 point to trace")
 	traceRatio := flag.Int("trace-ratio", 1,
 		"virtualization ratio of the table2/fig9 point to trace (1 = unvirtualized baseline)")
+	traceMTBF := flag.Duration("trace-mtbf", 120*time.Millisecond,
+		"MTBF of the ftsweep point to trace")
+	traceTarget := flag.String("trace-target", "fs",
+		"checkpoint target of the ftsweep point to trace: fs or buddy")
 	profileRanks := flag.Bool("profile-ranks", false,
 		"print per-rank and per-PE virtual-time utilization profiles with a critical-path summary for the traced sweep point")
 	flag.Parse()
@@ -54,6 +64,11 @@ func main() {
 	cores, err := parseInts(*coresFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "privbench: bad -cores: %v\n", err)
+		os.Exit(2)
+	}
+	mtbfs, err := parseDurations(*mtbfFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "privbench: bad -mtbf: %v\n", err)
 		os.Exit(2)
 	}
 	if *parallel < 1 {
@@ -98,9 +113,9 @@ func main() {
 	var rec *trace.Recorder
 	if *traceFile != "" || *profileRanks {
 		switch *experiment {
-		case "fig5", "fig5scale", "fig6", "fig7", "fig8", "table2", "fig9":
+		case "fig5", "fig5scale", "fig6", "fig7", "fig8", "table2", "fig9", "ftsweep":
 		default:
-			fmt.Fprintf(os.Stderr, "privbench: -trace/-profile-ranks need -experiment to be one of fig5, fig5scale, fig6, fig7, fig8, table2, fig9 (got %q)\n", *experiment)
+			fmt.Fprintf(os.Stderr, "privbench: -trace/-profile-ranks need -experiment to be one of fig5, fig5scale, fig6, fig7, fig8, table2, fig9, ftsweep (got %q)\n", *experiment)
 			os.Exit(2)
 		}
 		if *traceFormat != "jsonl" && *traceFormat != "chrome" {
@@ -112,6 +127,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "privbench: -trace-method: %v\n", err)
 			os.Exit(2)
 		}
+		target, err := parseTarget(*traceTarget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "privbench: -trace-target: %v\n", err)
+			os.Exit(2)
+		}
 		rec = trace.NewRecorder()
 		harness.TraceSelection = &harness.TraceSel{
 			Method: kind,
@@ -119,6 +139,8 @@ func main() {
 			Heap:   *traceHeap,
 			Cores:  *traceCores,
 			Ratio:  *traceRatio,
+			MTBF:   sim.Time(*traceMTBF),
+			Target: target,
 			Rec:    rec,
 		}
 	}
@@ -191,6 +213,14 @@ func main() {
 		fmt.Println(tbl)
 		return nil
 	})
+	run("ftsweep", func() error {
+		_, tbl, err := harness.FTSweep(mtbfs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	})
 	adcircScaling := func() error {
 		_, t2, f9, err := harness.AdcircScaling(adcirc.DefaultConfig(), cores)
 		if err != nil {
@@ -211,7 +241,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "privbench: adcirc: %v\n", err)
 			os.Exit(1)
 		}
-	case "tables", "fig5", "fig5scale", "fig6", "fig7", "fig8", "icache", "memory":
+	case "tables", "fig5", "fig5scale", "fig6", "fig7", "fig8", "icache", "memory", "ftsweep":
 		// handled above
 	default:
 		fmt.Fprintf(os.Stderr, "privbench: unknown experiment %q\n", *experiment)
@@ -255,6 +285,42 @@ func writeTrace(path, format string, events []trace.Event) error {
 		err = cerr
 	}
 	return err
+}
+
+// parseTarget maps fs/buddy to the checkpoint target.
+func parseTarget(s string) (ampi.CheckpointTarget, error) {
+	switch s {
+	case "fs":
+		return ampi.TargetFS, nil
+	case "buddy":
+		return ampi.TargetBuddy, nil
+	default:
+		return 0, fmt.Errorf("unknown checkpoint target %q (want fs or buddy)", s)
+	}
+}
+
+// parseDurations splits a comma-separated duration list; an empty
+// string yields nil (the experiment's default list).
+func parseDurations(s string) ([]sim.Time, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []sim.Time
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("duration %v must be positive", d)
+		}
+		out = append(out, sim.Time(d))
+	}
+	return out, nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -5,22 +5,81 @@ import (
 
 	"provirt/internal/core"
 	"provirt/internal/sim"
+	"provirt/internal/trace"
 )
 
-// Checkpoint is a consistent snapshot of every rank's migratable state,
-// written to the shared filesystem. Because rank state serializes
-// exactly as it does for migration, any privatization method that
-// supports migration supports checkpoint/restart fault tolerance — and
-// any method that cannot (PIPglobals, FSglobals) fails here with the
-// same reason (§3.1, §3.2).
+// CheckpointTarget selects where snapshots live.
+type CheckpointTarget int
+
+const (
+	// TargetFS writes one file per rank to the shared filesystem.
+	// Snapshots survive any failure (including whole-job loss) but every
+	// checkpoint contends on the filesystem's aggregate bandwidth.
+	TargetFS CheckpointTarget = iota
+	// TargetBuddy keeps snapshots in memory, doubly: each rank's home
+	// node keeps a local copy and ships the incremental delta to a buddy
+	// node ((home+1) mod nodes) over the network. Checkpoints avoid the
+	// filesystem entirely and recovery from any single-node failure
+	// reads the surviving copy, but a simultaneous node+buddy loss is
+	// unrecoverable.
+	TargetBuddy
+)
+
+// String names the target ("fs", "buddy").
+func (t CheckpointTarget) String() string {
+	switch t {
+	case TargetFS:
+		return "fs"
+	case TargetBuddy:
+		return "buddy"
+	default:
+		return fmt.Sprintf("CheckpointTarget(%d)", int(t))
+	}
+}
+
+// CheckpointPolicy is the configuration Rank.CheckpointIfDue consults:
+// where snapshots go and how much virtual time should pass between
+// them (e.g. ft.DalyInterval for the optimal value given an MTBF).
+type CheckpointPolicy struct {
+	Target CheckpointTarget
+	// Dir is the shared-filesystem directory for TargetFS; ignored by
+	// TargetBuddy.
+	Dir string
+	// Interval is the minimum virtual time between snapshot starts. A
+	// zero or negative interval disables CheckpointIfDue.
+	Interval sim.Time
+}
+
+// Checkpoint is a consistent snapshot of every rank's migratable state.
+// Because rank state serializes exactly as it does for migration, any
+// privatization method that supports migration supports
+// checkpoint/restart fault tolerance — and any method that cannot
+// (PIPglobals, FSglobals) fails here with the same reason (§3.1, §3.2).
 type Checkpoint struct {
-	Dir      string
+	// Target records where the snapshot lives; Dir is the filesystem
+	// directory for TargetFS snapshots.
+	Target CheckpointTarget
+	Dir    string
+	// Method records the privatization method the snapshot was taken
+	// under; restart validation rejects a mismatched config.
+	Method   core.Kind
 	Payloads []*core.MigrationPayload
+	// Homes[i] is the node that hosted Payloads[i]'s rank when the
+	// snapshot was taken — for TargetBuddy it is where the local copy
+	// lives (the buddy copy is on (Homes[i]+1) mod Nodes).
+	Homes []int
+	// Nodes is the cluster's node count when the snapshot was taken.
+	Nodes int
+	// LostNode, when >= 0, marks a node whose in-memory snapshot copies
+	// are gone; a TargetBuddy restore fetches those ranks' state from
+	// their buddy node instead. Supervisors set it before restarting.
+	// -1 (the value checkpoints are created with) means all copies are
+	// intact.
+	LostNode int
 	// Bytes is the total logical snapshot size; DeltaBytes is what this
-	// checkpoint actually wrote to the filesystem (dirty blocks only,
-	// once each rank has a previous snapshot to be incremental
-	// against). A job's first checkpoint writes everything, so there
-	// DeltaBytes == Bytes.
+	// checkpoint actually wrote (dirty blocks only, once each rank has a
+	// previous snapshot to be incremental against). A job's first
+	// checkpoint writes everything, so there DeltaBytes == Bytes.
 	Bytes      uint64
 	DeltaBytes uint64
 	// Taken is the virtual time the snapshot completed (slowest rank).
@@ -32,21 +91,52 @@ type Checkpoint struct {
 // Checkpoint is a collective: every rank must call it. The runtime
 // serializes all rank state and writes one file per rank to the shared
 // filesystem; ranks resume once their file is durable. The snapshot is
-// available afterwards via World.LastCheckpoint.
+// available afterwards via World.LastCheckpoint. It is shorthand for
+// CheckpointTo(TargetFS, dir).
 func (r *Rank) Checkpoint(dir string) {
+	r.CheckpointTo(TargetFS, dir)
+}
+
+// CheckpointTo is a collective: every rank must call it with the same
+// arguments. The runtime serializes all rank state and makes it durable
+// on the chosen target; ranks resume once their part is safe.
+func (r *Rank) CheckpointTo(target CheckpointTarget, dir string) {
 	w := r.world
 	w.ckptWaiting = append(w.ckptWaiting, r)
 	if len(w.ckptWaiting) == len(w.Ranks) {
 		at := r.thread.Now()
-		w.Cluster.Engine.At(at, func() { w.runCheckpoint(dir) })
+		w.Cluster.Engine.At(at, func() { w.runCheckpoint(target, dir, false) })
 	}
 	r.thread.Suspend()
+}
+
+// CheckpointIfDue is the policy-driven checkpoint call applications
+// place at their natural consistency points (iteration boundaries). If
+// the world has no CheckpointPolicy (or a non-positive interval) it
+// returns false immediately, without synchronizing. Otherwise it is a
+// collective: ranks gather, and if the policy's interval has elapsed
+// since the previous snapshot a checkpoint is taken; if not, ranks
+// simply synchronize. It reports whether a snapshot was taken this
+// call — the same answer on every rank.
+func (r *Rank) CheckpointIfDue() bool {
+	w := r.world
+	p := w.Cfg.Checkpoint
+	if p == nil || p.Interval <= 0 {
+		return false
+	}
+	w.ckptWaiting = append(w.ckptWaiting, r)
+	if len(w.ckptWaiting) == len(w.Ranks) {
+		at := r.thread.Now()
+		w.Cluster.Engine.At(at, func() { w.runCheckpoint(p.Target, p.Dir, true) })
+	}
+	r.thread.Suspend()
+	return w.ckptDecision
 }
 
 // LastCheckpoint returns the most recent snapshot, or nil.
 func (w *World) LastCheckpoint() *Checkpoint { return w.lastCheckpoint }
 
-func (w *World) runCheckpoint(dir string) {
+func (w *World) runCheckpoint(target CheckpointTarget, dir string, ifDue bool) {
 	sync := w.Cluster.Engine.Now()
 	for _, s := range w.scheds {
 		if s.Now() > sync {
@@ -56,7 +146,27 @@ func (w *World) runCheckpoint(dir string) {
 	waiting := w.ckptWaiting
 	w.ckptWaiting = nil
 
-	ck := &Checkpoint{Dir: dir, VPs: len(w.Ranks)}
+	if ifDue && sync-w.lastCkptAt < w.Cfg.Checkpoint.Interval {
+		// Not due yet: the gather still synchronizes the ranks (they
+		// all resume at the slowest clock), but no snapshot is taken.
+		w.ckptDecision = false
+		for _, r := range waiting {
+			w.wakeAt(r, sync)
+		}
+		return
+	}
+	w.ckptDecision = true
+	w.lastCkptAt = sync
+	w.Checkpoints++
+
+	ck := &Checkpoint{
+		Target:   target,
+		Dir:      dir,
+		Method:   w.Cfg.Privatize,
+		Nodes:    len(w.Cluster.Nodes),
+		LostNode: -1,
+		VPs:      len(w.Ranks),
+	}
 	for _, r := range waiting {
 		payload, err := r.ctx.Serialize()
 		if err != nil {
@@ -64,13 +174,28 @@ func (w *World) runCheckpoint(dir string) {
 			return
 		}
 		ck.Payloads = append(ck.Payloads, payload)
+		ck.Homes = append(ck.Homes, r.pe.Proc.Node.ID)
 		ck.Bytes += payload.Bytes()
-		// Writes contend on the shared filesystem and are incremental:
-		// each rank pays for the bytes that changed since its previous
-		// snapshot and resumes when its file is durable.
+		// Snapshots are incremental: each rank pays for the bytes that
+		// changed since its previous snapshot.
 		delta := payload.DeltaBytes()
 		ck.DeltaBytes += delta
-		done := w.Cluster.FS.WriteFile(sync, checkpointPath(dir, r.vp), delta)
+		var done sim.Time
+		switch target {
+		case TargetBuddy:
+			// Double in-memory checkpoint: pack the delta locally, ship
+			// it to the buddy node, unpack there. The rank resumes once
+			// its buddy copy is safe. No filesystem involved.
+			cost := w.Cluster.Cost
+			buddy := w.Cluster.Nodes[(r.pe.Proc.Node.ID+1)%len(w.Cluster.Nodes)]
+			dstPE := buddy.Procs[0].PEs[0]
+			depart := sync + cost.CopyTime(delta)
+			done = w.Cluster.Transfer(depart, r.pe, dstPE, delta) + cost.CopyTime(delta)
+		default:
+			// Writes contend on the shared filesystem; the rank resumes
+			// when its file is durable.
+			done = w.Cluster.FS.WriteFile(sync, checkpointPath(dir, r.vp), delta)
+		}
 		if done > ck.Taken {
 			ck.Taken = done
 		}
@@ -85,7 +210,8 @@ func checkpointPath(dir string, vp int) string {
 
 // NewWorldFromCheckpoint builds a world whose ranks restart from a
 // previously taken checkpoint: after privatization setup, each rank's
-// snapshot is read back from the shared filesystem and restored into
+// snapshot is read back — from the shared filesystem, or from the
+// surviving in-memory copy for buddy checkpoints — and restored into
 // its context before the rank's main function runs. The machine shape
 // may differ from the original job's (restart after a node failure, or
 // shrink/expand), since Isomalloc state is placement-independent.
@@ -104,23 +230,46 @@ func NewWorldFromCheckpoint(cfg Config, prog *Program, ck *Checkpoint) (*World, 
 	if cfg.VPs != ck.VPs {
 		return nil, fmt.Errorf("ampi: checkpoint has %d ranks, config wants %d", ck.VPs, cfg.VPs)
 	}
+	if len(ck.Payloads) != ck.VPs {
+		return nil, fmt.Errorf("ampi: checkpoint has %d payloads for %d ranks; snapshot is incomplete",
+			len(ck.Payloads), ck.VPs)
+	}
+	kind := cfg.Privatize
+	if cfg.Method != nil {
+		kind = cfg.Method.Kind()
+	}
+	if ck.Method != core.KindNone && ck.Method != kind {
+		return nil, fmt.Errorf("ampi: checkpoint was taken under %v, config restarts under %v; privatized state is not portable across methods",
+			ck.Method, kind)
+	}
+	if !core.CapabilitiesOf(kind).SupportsMigration {
+		return nil, fmt.Errorf("ampi: method %v does not support migratable rank state; checkpoint restart is unavailable", kind)
+	}
 	cfg.restart = ck
 	return NewWorld(cfg, prog)
 }
 
 // restoreFromCheckpoint wires restart into world construction: instead
 // of adopting rank threads directly at setup completion, each rank's
-// snapshot is read from the filesystem (contended) and restored, and
-// the thread starts only once its state is back.
+// snapshot is read back (from the contended filesystem, or from buddy
+// memory over the network) and restored, and the thread starts only
+// once its state is back.
 func (w *World) restoreFromCheckpoint(ck *Checkpoint, vpPE []int) error {
 	byVP := make(map[int]*core.MigrationPayload, len(ck.Payloads))
-	for _, p := range ck.Payloads {
+	homeByVP := make(map[int]int, len(ck.Payloads))
+	for i, p := range ck.Payloads {
 		byVP[p.VP] = p
+		if i < len(ck.Homes) {
+			homeByVP[p.VP] = ck.Homes[i]
+		}
 	}
 	for vp := range w.Ranks {
 		if byVP[vp] == nil {
 			return fmt.Errorf("ampi: checkpoint missing rank %d", vp)
 		}
+	}
+	if ck.Target == TargetBuddy {
+		return w.restoreFromBuddy(ck, vpPE, byVP, homeByVP)
 	}
 	// The shared filesystem persists across jobs: make the previous
 	// job's checkpoint files visible to this cluster.
@@ -143,9 +292,94 @@ func (w *World) restoreFromCheckpoint(ck *Checkpoint, vpPE []int) error {
 					w.fail(fmt.Errorf("ampi: restart rank %d: %w", r.vp, err))
 					return
 				}
+				w.noteRestore(r, payload, w.SetupDone, readDone, int32(TargetFS))
 				pe.Adopt(r.thread)
 			})
 		}
 	})
 	return nil
+}
+
+// restoreFromBuddy restores ranks from in-memory snapshot copies. Each
+// rank's state comes from its old home node's copy — or, if that node
+// is the one marked lost, from the buddy's copy — and is transferred
+// over the network to wherever the rank now lives.
+func (w *World) restoreFromBuddy(ck *Checkpoint, vpPE []int, byVP map[int]*core.MigrationPayload, homeByVP map[int]int) error {
+	if len(ck.Homes) != len(ck.Payloads) {
+		return fmt.Errorf("ampi: buddy checkpoint has %d home records for %d payloads", len(ck.Homes), len(ck.Payloads))
+	}
+	if ck.Nodes <= 0 {
+		return fmt.Errorf("ampi: buddy checkpoint records no cluster shape")
+	}
+	if ck.LostNode >= 0 && ck.Nodes < 2 {
+		return fmt.Errorf("ampi: buddy checkpoint on a 1-node cluster cannot survive losing node %d", ck.LostNode)
+	}
+	// Map a node id from the snapshot's cluster onto this cluster. A
+	// shrunk restart (one fewer node) drops the lost node's id and
+	// shifts the ids above it down; same-shape restarts map identically.
+	shrunk := len(w.Cluster.Nodes) < ck.Nodes
+	mapNode := func(old int) (int, error) {
+		id := old
+		if shrunk && ck.LostNode >= 0 && old > ck.LostNode {
+			id = old - 1
+		}
+		if id < 0 || id >= len(w.Cluster.Nodes) {
+			return 0, fmt.Errorf("ampi: buddy restore: snapshot node %d has no counterpart on this %d-node cluster",
+				old, len(w.Cluster.Nodes))
+		}
+		return id, nil
+	}
+	engine := w.Cluster.Engine
+	cost := w.Cluster.Cost
+	engine.At(w.SetupDone, func() {
+		for vp, r := range w.Ranks {
+			r := r
+			payload := byVP[vp]
+			home := homeByVP[vp]
+			src := home
+			if home == ck.LostNode {
+				src = (home + 1) % ck.Nodes // the buddy holds the only copy
+			}
+			srcID, err := mapNode(src)
+			if err != nil {
+				w.fail(err)
+				return
+			}
+			pe := w.scheds[vpPE[vp]]
+			srcPE := w.Cluster.Nodes[srcID].Procs[0].PEs[0]
+			n := payload.Bytes()
+			// Unpack the copy; if it lives on another node, pack and
+			// ship it over the network first.
+			done := w.SetupDone + cost.CopyTime(n)
+			if srcPE.Proc.Node != pe.PE.Proc.Node {
+				done = w.Cluster.Transfer(w.SetupDone+cost.CopyTime(n), srcPE, pe.PE, n) + cost.CopyTime(n)
+			}
+			engine.At(done, func() {
+				if err := r.ctx.RestoreInto(payload, w.sharedInstanceOf(pe.PE.Proc)); err != nil {
+					w.fail(fmt.Errorf("ampi: restart rank %d: %w", r.vp, err))
+					return
+				}
+				w.noteRestore(r, payload, w.SetupDone, done, int32(TargetBuddy))
+				pe.Adopt(r.thread)
+			})
+		}
+	})
+	return nil
+}
+
+// noteRestore records restore accounting and emits the rank's recovery
+// span. It runs inside the restore completion callback, so tracing adds
+// no engine events and traced runs stay bit-identical to untraced ones.
+func (w *World) noteRestore(r *Rank, p *core.MigrationPayload, start, done sim.Time, target int32) {
+	w.RestoredBytes += p.Bytes()
+	if done > w.RestoreDone {
+		w.RestoreDone = done
+	}
+	if done > w.lastCkptAt {
+		w.lastCkptAt = done // checkpoint intervals count from the restore
+	}
+	if w.tracer != nil {
+		w.tracer.Emit(trace.Event{Time: start, Dur: done - start, Kind: trace.KindRecover,
+			PE: int32(r.pe.ID), VP: int32(r.vp), Peer: -1, Aux: target, Bytes: p.Bytes()})
+	}
 }

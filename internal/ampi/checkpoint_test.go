@@ -163,3 +163,63 @@ func TestRestartValidation(t *testing.T) {
 		t.Fatal("rank-count mismatch accepted")
 	}
 }
+
+// Restart validation must reject snapshots that cannot possibly restore
+// correctly, each with an error naming the actual problem.
+func TestRestartValidationRejectsBadSnapshots(t *testing.T) {
+	cfg := ampi.Config{
+		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 2},
+		VPs:       2,
+		Privatize: core.KindPIEglobals,
+	}
+	prog := func() *ampi.Program { return ckptProgram(1, 0, make([]uint64, 2)) }
+
+	t.Run("incomplete payloads", func(t *testing.T) {
+		// Right rank count, but the per-rank payloads are missing — a
+		// snapshot that was never fully gathered.
+		ck := &ampi.Checkpoint{VPs: 2, Method: core.KindPIEglobals}
+		_, err := ampi.NewWorldFromCheckpoint(cfg, prog(), ck)
+		if err == nil || !strings.Contains(err.Error(), "snapshot is incomplete") {
+			t.Fatalf("incomplete snapshot: got %v", err)
+		}
+	})
+	t.Run("method mismatch", func(t *testing.T) {
+		// A real snapshot taken under PIEglobals must not restore into a
+		// TLSglobals world: the serialized state encodes the method's
+		// layout.
+		finals := make([]uint64, 4)
+		w := runProgram(t, ampi.Config{
+			Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 2},
+			VPs:       4,
+			Privatize: core.KindPIEglobals,
+		}, ckptProgram(6, 3, finals))
+		ck := w.LastCheckpoint()
+		if ck == nil {
+			t.Fatal("no checkpoint taken")
+		}
+		bad := ampi.Config{
+			Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 2},
+			VPs:       4,
+			Privatize: core.KindTLSglobals,
+		}
+		_, err := ampi.NewWorldFromCheckpoint(bad, ckptProgram(6, 0, make([]uint64, 4)), ck)
+		if err == nil || !strings.Contains(err.Error(), "not portable across methods") {
+			t.Fatalf("method mismatch: got %v", err)
+		}
+	})
+	t.Run("non-migratable method", func(t *testing.T) {
+		// Even a self-consistent snapshot cannot restart under a method
+		// without migratable rank state.
+		ck := &ampi.Checkpoint{
+			VPs:      2,
+			Method:   core.KindPIPglobals,
+			Payloads: make([]*core.MigrationPayload, 2),
+		}
+		bad := cfg
+		bad.Privatize = core.KindPIPglobals
+		_, err := ampi.NewWorldFromCheckpoint(bad, prog(), ck)
+		if err == nil || !strings.Contains(err.Error(), "does not support migratable rank state") {
+			t.Fatalf("non-migratable method: got %v", err)
+		}
+	})
+}

@@ -2,12 +2,14 @@ package ampi_test
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
 	"provirt/internal/ampi"
 	"provirt/internal/core"
 	"provirt/internal/machine"
+	"provirt/internal/sim"
 )
 
 // TestNodeFailureRecovery runs the full fault-tolerance loop: a job
@@ -102,5 +104,64 @@ func TestScheduleNodeFailureValidation(t *testing.T) {
 	}
 	if err := w.ScheduleNodeFailure(5, 0); err == nil {
 		t.Fatal("bogus node id accepted")
+	}
+}
+
+// A failure whose time lands after the job completed must be a no-op: a
+// finished world cannot fail retroactively.
+func TestNodeFailureAfterCompletionIsNoOp(t *testing.T) {
+	finals := make([]uint64, 4)
+	cfg := ampi.Config{
+		Machine:   machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 2},
+		VPs:       4,
+		Privatize: core.KindPIEglobals,
+	}
+	w, err := ampi.NewWorld(cfg, ckptProgram(3, 0, finals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ScheduleNodeFailure(1, sim.Time(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatalf("failure scheduled after completion killed the job: %v", err)
+	}
+	if f := w.Failure(); f != nil {
+		t.Errorf("finished world reports failure %v", f)
+	}
+	for vp := range finals {
+		if finals[vp] != expectedAcc(3, vp) {
+			t.Errorf("rank %d acc = %d, want %d", vp, finals[vp], expectedAcc(3, vp))
+		}
+	}
+}
+
+// Losing a node that hosts zero ranks still aborts the job (fail-stop:
+// the runtime spans every node) — and says so, rather than claiming
+// ranks were killed.
+func TestNodeFailureOnEmptyNodeAborts(t *testing.T) {
+	cfg := ampi.Config{
+		Machine:   machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 1},
+		VPs:       2,
+		Privatize: core.KindPIEglobals,
+		Placement: []int{0, 0}, // both ranks on node 0; node 1 is empty
+	}
+	w, err := ampi.NewWorld(cfg, ckptProgram(3, 0, make([]uint64, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ScheduleNodeFailure(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run()
+	if !errors.Is(err, ampi.ErrNodeFailed) {
+		t.Fatalf("run ended with %v, want node failure", err)
+	}
+	if !strings.Contains(err.Error(), "no resident ranks") {
+		t.Errorf("error %q does not explain the node was empty", err)
+	}
+	nf := w.Failure()
+	if nf == nil || nf.Node != 1 || nf.Killed != 0 {
+		t.Errorf("failure record = %+v, want node 1 with 0 ranks killed", nf)
 	}
 }

@@ -60,6 +60,15 @@ type Config struct {
 	// ShouldBalance reports true (e.g. lb.ImbalanceTrigger). Nil
 	// balances at every opportunity.
 	Trigger lb.Trigger
+	// Checkpoint, if set, is the policy Rank.CheckpointIfDue consults:
+	// where snapshots go and how often they are taken. Nil means
+	// CheckpointIfDue never checkpoints.
+	Checkpoint *CheckpointPolicy
+	// Placement, if non-nil, overrides the default block mapping of VPs
+	// onto PEs: rank vp starts on PE Placement[vp]. Its length must be
+	// VPs and every entry a valid PE id. Supervised shrink recovery uses
+	// this to remap ranks displaced from a failed node onto survivors.
+	Placement []int
 	// Tracer, if set, receives Projections-style virtual-time events
 	// from every layer of the run: engine dispatch, context switches
 	// and execution quanta, message posts/matches/waits, collectives,
@@ -117,6 +126,15 @@ type World struct {
 	// SkippedBalances counts Migrate collectives where the trigger
 	// declined to rebalance.
 	SkippedBalances int
+	// Checkpoints counts snapshots actually taken (by Checkpoint,
+	// CheckpointTo, or a CheckpointIfDue that came due).
+	Checkpoints int
+	// RestoreDone is the virtual time the slowest rank finished
+	// restoring on a restarted world (zero when not a restart).
+	RestoreDone sim.Time
+	// RestoredBytes is the payload volume restored into ranks on a
+	// restarted world.
+	RestoredBytes uint64
 
 	// tracer mirrors Cfg.Tracer for the runtime's hook sites.
 	tracer trace.Tracer
@@ -125,7 +143,10 @@ type World struct {
 	lastMigrations []MigrationRecord
 	ckptWaiting    []*Rank
 	lastCheckpoint *Checkpoint
+	lastCkptAt     sim.Time
+	ckptDecision   bool
 	runtimeErr     error
+	failure        *NodeFailure
 
 	// Scratch pools (see pool.go). Per-world, engine-thread-only.
 	bufFree [][]float64
@@ -157,10 +178,25 @@ func NewWorld(cfg Config, prog *Program) (*World, error) {
 	}
 
 	// Block-map VPs onto PEs: PE i runs VPs [i*V/P, (i+1)*V/P).
+	// Config.Placement overrides the block map rank by rank.
 	pes := cl.PEs()
 	vpPE := make([]int, cfg.VPs)
-	for vp := range vpPE {
-		vpPE[vp] = vp * len(pes) / cfg.VPs
+	if cfg.Placement != nil {
+		if len(cfg.Placement) != cfg.VPs {
+			return nil, fmt.Errorf("ampi: Placement has %d entries, want %d (one per VP)",
+				len(cfg.Placement), cfg.VPs)
+		}
+		for vp, pe := range cfg.Placement {
+			if pe < 0 || pe >= len(pes) {
+				return nil, fmt.Errorf("ampi: Placement[%d] = %d, but machine has PEs 0..%d",
+					vp, pe, len(pes)-1)
+			}
+			vpPE[vp] = pe
+		}
+	} else {
+		for vp := range vpPE {
+			vpPE[vp] = vp * len(pes) / cfg.VPs
+		}
 	}
 
 	// Per-process privatization setup. Processes start concurrently;
@@ -208,6 +244,7 @@ func NewWorld(cfg Config, prog *Program) (*World, error) {
 		}
 	}
 	w.SetupDone = setupDone
+	w.lastCkptAt = setupDone // CheckpointIfDue intervals count from job start
 
 	// One scheduler per PE, with the method's context-switch surcharge.
 	for _, pe := range pes {
@@ -333,6 +370,17 @@ func (w *World) TotalSwitches() uint64 {
 		n += s.Switches()
 	}
 	return n
+}
+
+// RankLoads snapshots every rank's measured load and current placement
+// in the load balancer's input form. Supervisors use it after a failed
+// run to compute a shrink placement for the restart.
+func (w *World) RankLoads() []lb.RankLoad {
+	out := make([]lb.RankLoad, len(w.Ranks))
+	for i, r := range w.Ranks {
+		out[i] = lb.RankLoad{VP: r.vp, PE: r.pe.ID, Load: r.thread.Load, Migratable: r.ctx.Migratable}
+	}
+	return out
 }
 
 // Scheds exposes the per-PE schedulers (read-only use).

@@ -1,0 +1,58 @@
+package ft_test
+
+import (
+	"testing"
+	"time"
+
+	"provirt/internal/ampi"
+	"provirt/internal/ft"
+	"provirt/internal/workloads/synth"
+)
+
+// Recovery-path benchmarks: one mid-run node crash, supervised restart
+// from the last snapshot. The FS variant restores through the shared
+// filesystem; the buddy variant restores from the surviving in-memory
+// copies over the network.
+
+func benchRecovery(b *testing.B, target ampi.CheckpointTarget, recovery ft.RecoveryMode) {
+	cfg := testConfig(2, 4, target, 5*time.Millisecond)
+	setup, total := probe(b, cfg)
+	crashAt := setup + (total-setup)*3/5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		finals := make([]uint64, cfg.VPs)
+		rep, err := ft.Run(ft.Job{
+			Config:   cfg,
+			Program:  func() *ampi.Program { return synth.Checkpointed(testIters, testCompute, finals) },
+			Plan:     ft.Plan{Faults: []ft.Fault{{Kind: ft.Crash, At: crashAt, Node: 1}}},
+			Recovery: recovery,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Attempts != 2 {
+			b.Fatalf("attempts = %d, want 2", rep.Attempts)
+		}
+	}
+}
+
+func BenchmarkRecoverySpareFS(b *testing.B)    { benchRecovery(b, ampi.TargetFS, ft.Spare) }
+func BenchmarkRecoverySpareBuddy(b *testing.B) { benchRecovery(b, ampi.TargetBuddy, ft.Spare) }
+func BenchmarkRecoveryShrinkBuddy(b *testing.B) {
+	benchRecovery(b, ampi.TargetBuddy, ft.Shrink)
+}
+
+func BenchmarkFaultFreeSupervised(b *testing.B) {
+	cfg := testConfig(2, 4, ampi.TargetFS, 5*time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		finals := make([]uint64, cfg.VPs)
+		_, err := ft.Run(ft.Job{
+			Config:  cfg,
+			Program: func() *ampi.Program { return synth.Checkpointed(testIters, testCompute, finals) },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package ft
+
+import (
+	"errors"
+	"fmt"
+
+	"provirt/internal/ampi"
+	"provirt/internal/lb"
+	"provirt/internal/machine"
+	"provirt/internal/sim"
+)
+
+// RecoveryMode selects what the supervisor does with a failed node.
+type RecoveryMode int
+
+const (
+	// Spare replaces the failed node with an identical spare: the job
+	// restarts on a same-shape machine.
+	Spare RecoveryMode = iota
+	// Shrink restarts the job on the surviving nodes only, remapping
+	// the displaced ranks onto the remaining PEs with GreedyRefineLB —
+	// the malleable-job recovery virtualized ranks make possible
+	// (§2.1): the rank count never changes, only where ranks live.
+	Shrink
+)
+
+// String names the mode ("spare", "shrink").
+func (m RecoveryMode) String() string {
+	switch m {
+	case Spare:
+		return "spare"
+	case Shrink:
+		return "shrink"
+	default:
+		return fmt.Sprintf("RecoveryMode(%d)", int(m))
+	}
+}
+
+// DefaultMaxRestarts bounds recovery attempts when Job.MaxRestarts is
+// unset.
+const DefaultMaxRestarts = 8
+
+// Job describes a supervised run: the configuration and program to
+// execute, the fault plan to inject, and the recovery policy to apply
+// when a node crash kills an attempt.
+type Job struct {
+	// Config is the job configuration; set Config.Checkpoint so
+	// CheckpointIfDue actually snapshots, or crashes lose all progress.
+	Config ampi.Config
+	// Program builds a fresh program for each attempt. Worlds cannot be
+	// re-run, so the supervisor needs a factory rather than an instance;
+	// the returned program's closures may share state across attempts
+	// (e.g. a finals slice).
+	Program func() *ampi.Program
+	// Plan is the fault schedule, in absolute virtual time from the
+	// original job start. The supervisor shifts it across restarts.
+	Plan Plan
+	// Recovery selects Spare (default) or Shrink handling of crashes.
+	Recovery RecoveryMode
+	// MaxRestarts bounds recovery attempts; <= 0 means
+	// DefaultMaxRestarts.
+	MaxRestarts int
+}
+
+// RecoveryRecord describes one recovery the supervisor performed.
+type RecoveryRecord struct {
+	// Attempt is the 1-based attempt that crashed.
+	Attempt int
+	// Node is the node that failed, CrashAt the virtual time it died
+	// (in the crashed attempt's clock).
+	Node    int
+	CrashAt sim.Time
+	// Rework is the work the crash threw away: time from the snapshot
+	// the restart used back to the crash (the full run time when no
+	// snapshot existed yet).
+	Rework sim.Time
+	// Downtime is what the restart itself cost: the restarted attempt's
+	// virtual time until its slowest rank was restored and running
+	// (setup for a from-scratch restart).
+	Downtime sim.Time
+	// RestoredBytes is the snapshot volume the restart read back.
+	RestoredBytes uint64
+	// Shrunk reports whether this recovery dropped the failed node
+	// instead of using a spare.
+	Shrunk bool
+}
+
+// Report summarizes a supervised run.
+type Report struct {
+	// World is the attempt that ran to completion.
+	World *ampi.World
+	// Attempts counts worlds started (1 = no failures).
+	Attempts int
+	// Recoveries has one record per crash the supervisor recovered
+	// from.
+	Recoveries []RecoveryRecord
+	// TotalTime sums virtual time across all attempts — the job's
+	// effective time-to-solution including lost work and restarts.
+	TotalTime sim.Time
+	// Checkpoints counts snapshots taken across all attempts.
+	Checkpoints int
+}
+
+// MeanRecovery is the mean of Rework+Downtime over recoveries (0 if
+// none) — the average price of one crash.
+func (r *Report) MeanRecovery() sim.Time {
+	if len(r.Recoveries) == 0 {
+		return 0
+	}
+	var total sim.Time
+	for _, rec := range r.Recoveries {
+		total += rec.Rework + rec.Downtime
+	}
+	return total / sim.Time(len(r.Recoveries))
+}
+
+// Run drives a job to completion under supervision: it arms the fault
+// plan, runs the world, and on a node failure restarts from the last
+// checkpoint — onto a spare, or shrunk onto the survivors — up to
+// MaxRestarts times. A crash before any checkpoint restarts the job
+// from scratch. With an empty plan Run adds nothing to the run: it
+// builds and runs the world exactly as an unsupervised caller would, so
+// fault-free supervised runs are bit-identical to bare ones.
+//
+// Run returns the report alongside any error; on error the report
+// covers the attempts made so far.
+func Run(job Job) (*Report, error) {
+	if job.Program == nil {
+		return nil, errors.New("ft: job needs a program factory")
+	}
+	cfg := job.Config
+	maxRestarts := job.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = DefaultMaxRestarts
+	}
+	plan := job.Plan
+	rep := &Report{}
+	var lastCk *ampi.Checkpoint
+	var pending *RecoveryRecord
+	for restarts := 0; ; restarts++ {
+		var w *ampi.World
+		var err error
+		if lastCk == nil {
+			w, err = ampi.NewWorld(cfg, job.Program())
+		} else {
+			w, err = ampi.NewWorldFromCheckpoint(cfg, job.Program(), lastCk)
+		}
+		if err != nil {
+			return rep, err
+		}
+		if err := plan.Arm(w); err != nil {
+			return rep, err
+		}
+		runErr := w.Run()
+		rep.Attempts++
+		rep.Checkpoints += w.Checkpoints
+		if pending != nil {
+			pending.Downtime = w.RestoreDone
+			if pending.Downtime == 0 {
+				pending.Downtime = w.SetupDone
+			}
+			pending.RestoredBytes = w.RestoredBytes
+			pending = nil
+		}
+		if runErr == nil {
+			rep.TotalTime += w.Time()
+			rep.World = w
+			return rep, nil
+		}
+		var nf *ampi.NodeFailure
+		if !errors.As(runErr, &nf) {
+			// Not a node failure: application or runtime bug, nothing a
+			// restart would fix.
+			rep.TotalTime += w.Time()
+			return rep, runErr
+		}
+		// The crashed attempt consumed virtual time up to the crash,
+		// even when the PE clocks lag it (a crash during startup): that
+		// is the time its faults must be shifted by and the time the
+		// attempt charges to the job.
+		elapsed := w.Time()
+		if nf.At > elapsed {
+			elapsed = nf.At
+		}
+		rep.TotalTime += elapsed
+		if restarts >= maxRestarts {
+			return rep, fmt.Errorf("ft: job still failing after %d restart(s): %w", restarts, runErr)
+		}
+		if ck := w.LastCheckpoint(); ck != nil {
+			lastCk = ck
+		}
+		rec := RecoveryRecord{Attempt: rep.Attempts, Node: nf.Node, CrashAt: nf.At}
+		if lastCk != nil {
+			rec.Rework = nf.At - lastCk.Taken
+			if rec.Rework < 0 {
+				rec.Rework = 0
+			}
+		} else {
+			// No snapshot yet: the whole attempt is rework.
+			rec.Rework = nf.At
+		}
+		plan = plan.Shift(elapsed)
+		if job.Recovery == Shrink {
+			if cfg.Machine.Nodes <= 1 {
+				return rep, fmt.Errorf("ft: cannot shrink below one node: %w", runErr)
+			}
+			placement, perr := shrinkPlacement(w, cfg.Machine, nf.Node)
+			if perr != nil {
+				return rep, fmt.Errorf("ft: shrink recovery: %w", perr)
+			}
+			cfg.Machine.Nodes--
+			cfg.Placement = placement
+			rec.Shrunk = true
+		}
+		if lastCk != nil {
+			// Tell the restore which node's in-memory snapshot copies
+			// died with the crash (buddy checkpoints read the surviving
+			// copy; filesystem snapshots ignore this).
+			lastCk.LostNode = nf.Node
+		}
+		rep.Recoveries = append(rep.Recoveries, rec)
+		pending = &rep.Recoveries[len(rep.Recoveries)-1]
+	}
+}
+
+// shrinkPlacement computes where every rank goes when the failed node
+// leaves: surviving ranks keep their PE (with ids above the failed node
+// shifted down), and ranks displaced from the dead node are remapped by
+// GreedyRefineLB onto the least-loaded survivors.
+func shrinkPlacement(w *ampi.World, m machine.Config, failed int) ([]int, error) {
+	perNode := m.ProcsPerNode * m.PEsPerProc
+	newPEs := (m.Nodes - 1) * perNode
+	loads := w.RankLoads()
+	for i := range loads {
+		node := loads[i].PE / perNode
+		switch {
+		case node == failed:
+			loads[i].PE = -1 // displaced: this PE no longer exists
+		case node > failed:
+			loads[i].PE -= perNode
+		}
+	}
+	assign := lb.GreedyRefineLB{}.Rebalance(loads, newPEs)
+	if err := lb.Validate(loads, newPEs, assign); err != nil {
+		return nil, err
+	}
+	return assign, nil
+}

@@ -12,6 +12,7 @@ import (
 	"provirt/internal/core"
 	"provirt/internal/harness/sweep"
 	"provirt/internal/machine"
+	"provirt/internal/sim"
 	"provirt/internal/trace"
 )
 
@@ -52,6 +53,11 @@ type TraceSel struct {
 	// is the unvirtualized baseline.
 	Cores int
 	Ratio int
+	// MTBF and Target select the fault-tolerance sweep point (ftsweep
+	// matches Method, MTBF, and Target); the recorder then captures the
+	// selected point's supervised run across all of its attempts.
+	MTBF   sim.Time
+	Target ampi.CheckpointTarget
 	// Rec receives the selected world's events.
 	Rec *trace.Recorder
 }

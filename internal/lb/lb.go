@@ -19,13 +19,21 @@ import (
 // RankLoad is one rank's measured load since the previous balancing
 // step.
 type RankLoad struct {
-	VP   int
+	VP int
+	// PE is the rank's current processing element. A value outside
+	// [0, numPEs) marks a *displaced* rank: its PE no longer exists
+	// (job shrink after a node failure, or cores returned to the
+	// scheduler), so a shrink-aware strategy must find it a new home.
 	PE   int
 	Load sim.Time
 	// Migratable reports whether the runtime can move this rank; a
 	// strategy must keep non-migratable ranks in place.
 	Migratable bool
 }
+
+// Displaced reports whether the rank's current PE is gone under a
+// numPEs-wide machine.
+func (l RankLoad) Displaced(numPEs int) bool { return l.PE < 0 || l.PE >= numPEs }
 
 // Strategy decides a new rank-to-PE mapping.
 type Strategy interface {
@@ -36,10 +44,15 @@ type Strategy interface {
 	Rebalance(loads []RankLoad, numPEs int) []int
 }
 
-// PELoads aggregates rank loads by PE.
+// PELoads aggregates rank loads by PE. Displaced ranks (PE outside
+// [0, numPEs)) are skipped: they contribute load only once a strategy
+// has placed them.
 func PELoads(loads []RankLoad, numPEs int) []sim.Time {
 	out := make([]sim.Time, numPEs)
 	for _, l := range loads {
+		if l.Displaced(numPEs) {
+			continue
+		}
 		out[l.PE] += l.Load
 	}
 	return out
@@ -74,6 +87,10 @@ func Validate(loads []RankLoad, numPEs int, assign []int) error {
 			return fmt.Errorf("lb: rank %d assigned to PE %d of %d", loads[i].VP, pe, numPEs)
 		}
 		if !loads[i].Migratable && pe != loads[i].PE {
+			if loads[i].Displaced(numPEs) {
+				return fmt.Errorf("lb: non-migratable rank %d cannot be remapped off departed PE %d",
+					loads[i].VP, loads[i].PE)
+			}
 			return fmt.Errorf("lb: non-migratable rank %d moved from PE %d to %d", loads[i].VP, loads[i].PE, pe)
 		}
 	}
@@ -156,6 +173,12 @@ func (GreedyLB) Rebalance(loads []RankLoad, numPEs int) []int {
 // PEs loaded above a tolerance over the mean donate ranks, and they
 // donate their smallest ranks first to the least-loaded PEs. This is
 // the strategy the paper's ADCIRC runs use.
+//
+// GreedyRefineLB is shrink-aware: ranks whose current PE is outside
+// [0, numPEs) (their node failed, or its cores were returned to the
+// scheduler) are treated as displaced and placed first, heaviest onto
+// the least-loaded surviving PE, before the refinement pass runs. This
+// is the remap restart-with-shrink recovery drives.
 type GreedyRefineLB struct {
 	// Tolerance is the allowed overload ratio over the mean before a
 	// PE must donate (default 1.05).
@@ -174,12 +197,35 @@ func (g GreedyRefineLB) Rebalance(loads []RankLoad, numPEs int) []int {
 	assign := make([]int, len(loads))
 	peLoad := make([]sim.Time, numPEs)
 	byPE := make([][]int, numPEs)
+	var displaced []int
 	var total sim.Time
 	for i, l := range loads {
+		if l.Displaced(numPEs) {
+			displaced = append(displaced, i)
+			total += l.Load
+			continue
+		}
 		assign[i] = l.PE
 		peLoad[l.PE] += l.Load
 		byPE[l.PE] = append(byPE[l.PE], i)
 		total += l.Load
+	}
+	// Place displaced ranks first, heaviest onto the least-loaded
+	// surviving PE, so the refinement below starts from a full (and
+	// already sensible) mapping.
+	sort.SliceStable(displaced, func(a, b int) bool {
+		return loads[displaced[a]].Load > loads[displaced[b]].Load
+	})
+	for _, i := range displaced {
+		dest := 0
+		for pe := 1; pe < numPEs; pe++ {
+			if peLoad[pe] < peLoad[dest] {
+				dest = pe
+			}
+		}
+		assign[i] = dest
+		peLoad[dest] += loads[i].Load
+		byPE[dest] = append(byPE[dest], i)
 	}
 	if total == 0 || numPEs <= 1 {
 		return assign

@@ -128,7 +128,7 @@ func WriteChrome(w io.Writer, events []Event) error {
 			ranks[ev.VP] = true
 		}
 		switch ev.Kind {
-		case KindLink, KindMigration, KindRunEnd:
+		case KindLink, KindMigration, KindRunEnd, KindFault, KindDetect:
 			hasNet = true
 		case KindFSIO:
 			hasFS = true
@@ -203,6 +203,21 @@ func WriteChrome(w io.Writer, events []Event) error {
 			asyncID++
 		case KindRunEnd:
 			cw.instant(chromeNetPID, 0, "run_end", "runtime", t, "")
+		case KindFault:
+			if d > 0 {
+				cw.async(chromeNetPID, asyncID, FaultName(ev.Aux), "fault", t, d,
+					fmt.Sprintf(`{"pe":%d,"node":%d}`, ev.PE, ev.Peer))
+				asyncID++
+			} else {
+				cw.instant(chromeNetPID, 0, FaultName(ev.Aux), "fault", t,
+					fmt.Sprintf(`{"node":%d,"killed":%d}`, ev.Peer, ev.Bytes))
+			}
+		case KindDetect:
+			cw.instant(chromeNetPID, 0, "detect", "fault", t,
+				fmt.Sprintf(`{"node":%d}`, ev.Peer))
+		case KindRecover:
+			cw.slice(rankPID, 0, "restore", "fault", t, d,
+				fmt.Sprintf(`{"bytes":%d}`, ev.Bytes))
 		case KindEngineEvent:
 			// Too fine-grained for a timeline; JSONL carries them when
 			// explicitly selected.

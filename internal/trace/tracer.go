@@ -63,6 +63,21 @@ const (
 	KindFSIO
 	// KindRunEnd marks job completion at the final virtual time.
 	KindRunEnd
+	// KindFault marks an injected fault taking effect: Aux is the
+	// Fault* constant. For node crashes Peer is the node id and Bytes
+	// the number of ranks killed; for link-degradation windows and
+	// straggler PEs, Time/Dur span the window and PE names the
+	// straggling PE (-1 for cluster-wide link faults).
+	KindFault
+	// KindDetect marks the runtime observing a fault and aborting the
+	// job (the fault-detector instant a supervisor reacts to). Peer is
+	// the failed node id.
+	KindDetect
+	// KindRecover spans one rank's state restoration during a restart
+	// from a checkpoint: setup completion to restore completion, with
+	// Bytes the restored payload size. Aux is the Checkpoint target
+	// code (0 = shared FS, 1 = buddy memory).
+	KindRecover
 
 	numKinds
 )
@@ -83,6 +98,9 @@ var kindNames = [numKinds]string{
 	KindLink:        "link",
 	KindFSIO:        "fs_io",
 	KindRunEnd:      "run_end",
+	KindFault:       "fault",
+	KindDetect:      "detect",
+	KindRecover:     "recover",
 }
 
 func (k Kind) String() string {
@@ -143,6 +161,30 @@ func CollName(op int32) string {
 		return collNames[op]
 	}
 	return "coll?"
+}
+
+// Aux values for KindFault events.
+const (
+	// FaultNodeCrash: a node died (fail-stop), killing its ranks.
+	FaultNodeCrash int32 = iota
+	// FaultLinkDegrade: network transfers slowed for a window.
+	FaultLinkDegrade
+	// FaultStraggler: one PE computes slower for a window.
+	FaultStraggler
+)
+
+var faultNames = [...]string{
+	FaultNodeCrash:   "node_crash",
+	FaultLinkDegrade: "link_degrade",
+	FaultStraggler:   "straggler",
+}
+
+// FaultName names a KindFault Aux code.
+func FaultName(f int32) string {
+	if f >= 0 && int(f) < len(faultNames) {
+		return faultNames[f]
+	}
+	return "fault?"
 }
 
 // Network tier codes carried in Event.Aux for KindLink events.

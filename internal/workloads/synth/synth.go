@@ -101,6 +101,55 @@ func PingWithImage(img *elf.Image) *ampi.Program {
 	}
 }
 
+// CheckpointedImage tracks progress in privatized globals (an
+// iteration counter and an accumulator), so a restarted run can skip
+// completed work hot-start style.
+func CheckpointedImage() *elf.Image {
+	return elf.NewBuilder("ckpt_synth").
+		TaggedGlobal("iter", 0).
+		TaggedGlobal("acc", 0).
+		Func("main", 1024).
+		CodeBulk(1 << 20).
+		DataBulk(256 << 10).
+		MustBuild()
+}
+
+// Checkpointed returns an iterative program for fault-tolerance runs:
+// each rank performs iters iterations of compute work, folding a
+// rank-dependent term into a privatized accumulator, and offers the
+// runtime a checkpoint (CheckpointIfDue) at every iteration boundary.
+// Restarted ranks resume from the restored iteration counter, so the
+// final accumulators come out right only if no work is lost or
+// double-counted — the property recovery tests pin. finals[rank]
+// receives each rank's accumulator; compare against CheckpointedAcc.
+func Checkpointed(iters int, compute sim.Time, finals []uint64) *ampi.Program {
+	return &ampi.Program{
+		Image: CheckpointedImage(),
+		Main: func(r *ampi.Rank) {
+			ctx := r.Ctx()
+			for int(ctx.Load("iter")) < iters {
+				it := ctx.Load("iter")
+				r.Compute(compute)
+				ctx.Store("acc", ctx.Load("acc")+(it+1)*uint64(r.Rank()+1))
+				ctx.Store("iter", it+1)
+				r.CheckpointIfDue()
+			}
+			r.Barrier()
+			finals[r.Rank()] = ctx.Load("acc")
+		},
+	}
+}
+
+// CheckpointedAcc is the accumulator value a rank of Checkpointed(iters)
+// must end with.
+func CheckpointedAcc(iters, rank int) uint64 {
+	var acc uint64
+	for it := 1; it <= iters; it++ {
+		acc += uint64(it) * uint64(rank+1)
+	}
+	return acc
+}
+
 // ComputeBound returns a program where each rank computes for the
 // given virtual duration, yielding periodically; used by scheduler and
 // load-balance tests.
