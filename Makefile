@@ -3,7 +3,10 @@ GO ?= go
 # Which committed benchmark record bench-json refreshes.
 BENCH_JSON ?= BENCH_4.json
 
-.PHONY: all build test bench bench-json race race-full vet ci
+.PHONY: all build test bench bench-json race race-full vet examples ci
+
+# Every example binary, smoke-run at reduced problem size.
+EXAMPLES := quickstart jacobi3d adcirc amr migration cloudrestart
 
 all: build test
 
@@ -35,5 +38,13 @@ race-full:
 vet:
 	$(GO) vet ./...
 
+# Smoke-run every example at -quick scale; a broken example is a
+# broken front door even when the libraries all pass.
+examples:
+	@for ex in $(EXAMPLES); do \
+		echo "== examples/$$ex -quick"; \
+		$(GO) run ./examples/$$ex -quick > /dev/null || exit 1; \
+	done
+
 # Everything CI runs, in the same order (see .github/workflows/ci.yml).
-ci: vet build test race
+ci: vet build test examples race

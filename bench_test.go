@@ -56,7 +56,7 @@ func BenchmarkFig5Startup(b *testing.B) {
 			var rows []harness.Fig5Row
 			for i := 0; i < b.N; i++ {
 				var err error
-				rows, _, err = harness.Fig5Startup(1)
+				rows, _, err = harness.Fig5Startup(harness.Opts{}, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -78,7 +78,7 @@ func BenchmarkFig5Startup(b *testing.B) {
 func BenchmarkFig6ContextSwitch(b *testing.B) {
 	var rows []harness.Fig6Row
 	var err error
-	rows, _, err = harness.Fig6ContextSwitch()
+	rows, _, err = harness.Fig6ContextSwitch(harness.Opts{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func BenchmarkFig6ContextSwitch(b *testing.B) {
 		row := row
 		b.Run(row.Method.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rows2, _, err := harness.Fig6ContextSwitch()
+				rows2, _, err := harness.Fig6ContextSwitch(harness.Opts{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -107,7 +107,7 @@ func BenchmarkFig6ContextSwitch(b *testing.B) {
 // ---------------------------------------------------------------------
 
 func BenchmarkFig7JacobiAccess(b *testing.B) {
-	rows, _, err := harness.Fig7JacobiAccess()
+	rows, _, err := harness.Fig7JacobiAccess(harness.Opts{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func BenchmarkFig7JacobiAccess(b *testing.B) {
 		row := row
 		b.Run(row.Method.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rows2, _, err := harness.Fig7JacobiAccess()
+				rows2, _, err := harness.Fig7JacobiAccess(harness.Opts{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -139,7 +139,7 @@ func BenchmarkFig8Migration(b *testing.B) {
 	var rows []harness.Fig8Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, _, err = harness.Fig8Migration()
+		rows, _, err = harness.Fig8Migration(harness.Opts{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,7 +189,7 @@ func BenchmarkTable2AdcircSpeedup(b *testing.B) {
 	var rows []harness.AdcircRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, _, _, err = harness.AdcircScaling(adcirc.DefaultConfig(), []int{1, 4, 16, 64})
+		rows, _, _, err = harness.AdcircScaling(harness.Opts{}, adcirc.DefaultConfig(), []int{1, 4, 16, 64})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,7 +210,7 @@ func BenchmarkFig9AdcircScaling(b *testing.B) {
 	var rows []harness.AdcircRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, _, _, err = harness.AdcircScaling(adcirc.DefaultConfig(), []int{4, 16})
+		rows, _, _, err = harness.AdcircScaling(harness.Opts{}, adcirc.DefaultConfig(), []int{4, 16})
 		if err != nil {
 			b.Fatal(err)
 		}

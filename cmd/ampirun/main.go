@@ -6,6 +6,12 @@
 //	ampirun -program adcirc -vp 128 -pes 16 -lb greedyrefine
 //	ampirun -program ping -privatize swapglobals -oldlinker
 //
+// Programs come from the scenario workload registry; runs are
+// described as a scenario.Spec under the stock Bridges-2 environment,
+// so an environment the selected method cannot run in is reported as
+// a validation error naming the flag to add (-oldlinker,
+// -patched-glibc, -mpc-compiler).
+//
 // It prints per-run statistics: startup time, execution time, context
 // switches, migrations, and program-specific output. Add -stats for a
 // per-PE utilization breakdown and -timeline FILE for a
@@ -16,27 +22,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"strings"
 
-	"provirt/internal/ampi"
 	"provirt/internal/core"
-	"provirt/internal/lb"
 	"provirt/internal/machine"
+	"provirt/internal/scenario"
 	"provirt/internal/trace"
-	"provirt/internal/workloads/adcirc"
-	"provirt/internal/workloads/jacobi"
-	"provirt/internal/workloads/synth"
 )
 
 func main() {
 	var (
-		program   = flag.String("program", "hello", "program to run: hello, jacobi, adcirc, ping, empty")
+		program   = flag.String("program", "hello", "program to run: "+strings.Join(scenario.WorkloadNames(), ", "))
 		vps       = flag.Int("vp", 4, "number of virtual ranks (+vp N)")
 		nodes     = flag.Int("nodes", 1, "cluster nodes")
 		procs     = flag.Int("procs", 1, "OS processes per node")
 		pes       = flag.Int("pes", 1, "PEs (cores) per process; >1 is SMP mode")
-		method    = flag.String("privatize", "pieglobals", "privatization method (none, manual, photran, swapglobals, tlsglobals, fmpc-privatize, pipglobals, fsglobals, pieglobals)")
-		balancer  = flag.String("lb", "", "load balancer: greedy, greedyrefine, hierarchical, rotate, null (empty = none)")
+		method    = flag.String("privatize", "pieglobals", "privatization method ("+strings.Join(core.KindNames(), ", ")+")")
+		balancer  = flag.String("lb", "", "load balancer: "+strings.Join(scenario.BalancerNames(), ", ")+" (empty = none)")
+		quick     = flag.Bool("quick", false, "reduced problem size (smoke runs)")
 		oldLinker = flag.Bool("oldlinker", false, "pretend ld <= 2.23 (enables swapglobals)")
 		patched   = flag.Bool("patched-glibc", false, "use the PIP project's patched glibc (lifts the 12-namespace limit)")
 		mpc       = flag.Bool("mpc-compiler", false, "use an MPC-patched compiler (enables -fmpc-privatize)")
@@ -50,49 +53,39 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	tc, osEnv := core.Bridges2Env()
-	osEnv.OldOrPatchedLinker = *oldLinker
-	osEnv.PatchedGlibc = *patched
-	tc.MPCPatched = *mpc
-
-	var strategy lb.Strategy
-	switch *balancer {
-	case "":
-	case "greedy":
-		strategy = lb.GreedyLB{}
-	case "greedyrefine":
-		strategy = lb.GreedyRefineLB{}
-	case "hierarchical":
-		strategy = lb.HierarchicalLB{PEsPerNode: *pes}
-	case "rotate":
-		strategy = lb.RotateLB{}
-	case "null":
-		strategy = lb.NullLB{}
-	default:
-		fail(fmt.Errorf("unknown balancer %q", *balancer))
-	}
-
-	cfg := ampi.Config{
-		Machine:   machine.Config{Nodes: *nodes, ProcsPerNode: *procs, PEsPerProc: *pes, Seed: *seed},
-		VPs:       *vps,
-		Privatize: kind,
-		Toolchain: tc,
-		OS:        osEnv,
-		Balancer:  strategy,
-	}
-
-	prog, report := buildProgram(*program, strategy != nil)
-	w, err := ampi.NewWorld(cfg, prog)
+	strategy, err := scenario.ParseBalancer(*balancer, *pes)
 	if err != nil {
 		fail(err)
 	}
+
+	sp := scenario.Spec{
+		Machine:   machine.Config{Nodes: *nodes, ProcsPerNode: *procs, PEsPerProc: *pes, Seed: *seed},
+		VPs:       *vps,
+		Method:    kind,
+		EnvPolicy: scenario.EnvBridges2,
+		Tweaks: scenario.EnvTweaks{
+			OldOrPatchedLinker: *oldLinker,
+			PatchedGlibc:       *patched,
+			MPCToolchain:       *mpc,
+		},
+		Workload:       *program,
+		WorkloadParams: scenario.WorkloadParams{Quick: *quick},
+		Balancer:       strategy,
+	}
+	built, err := sp.Build()
+	if err != nil {
+		fail(err)
+	}
+	w := built.World
 	if *timeline != "" {
 		w.EnableTracing()
 	}
 	if err := w.Run(); err != nil {
 		fail(err)
 	}
-	report()
+	if built.Report != nil {
+		built.Report()
+	}
 	if *timeline != "" {
 		f, err := os.Create(*timeline)
 		if err != nil {
@@ -123,54 +116,4 @@ func main() {
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "ampirun: %v\n", err)
 	os.Exit(1)
-}
-
-// buildProgram returns the selected program plus a function that prints
-// its collected output after the run.
-func buildProgram(name string, hasLB bool) (*ampi.Program, func()) {
-	switch name {
-	case "hello":
-		var results []synth.HelloResult
-		prog := synth.Hello(func(hr synth.HelloResult) { results = append(results, hr) })
-		return prog, func() {
-			sort.Slice(results, func(i, j int) bool { return results[i].VP < results[j].VP })
-			for _, hr := range results {
-				fmt.Printf("rank: %d\n", hr.Printed)
-			}
-		}
-	case "jacobi":
-		cfg := jacobi.DefaultConfig()
-		var results []jacobi.Result
-		prog := jacobi.New(cfg, func(r jacobi.Result) { results = append(results, r) })
-		return prog, func() {
-			var resid float64
-			var accesses uint64
-			for _, r := range results {
-				resid = r.Residual
-				accesses += r.Accesses
-			}
-			fmt.Printf("jacobi3d: %dx%dx%d grid, %d iterations, residual %.6g, %d privatized accesses\n",
-				cfg.NX, cfg.NY, cfg.NZ, cfg.Iters, resid, accesses)
-		}
-	case "adcirc":
-		cfg := adcirc.DefaultConfig()
-		if !hasLB {
-			cfg.LBPeriod = 0
-		}
-		var volume uint64
-		prog := adcirc.New(cfg, func(r adcirc.Result) { volume += r.WetCellSteps })
-		return prog, func() {
-			fmt.Printf("adcirc: %dx%d grid, %d steps, total wet-cell updates %d (oracle %d)\n",
-				cfg.Width, cfg.Height, cfg.Steps, volume, adcirc.TotalWetCellSteps(cfg))
-		}
-	case "ping":
-		return synth.Ping(), func() {
-			fmt.Printf("ping: %d context switches between two user-level threads\n", synth.PingCount)
-		}
-	case "empty":
-		return synth.Empty(), func() {}
-	default:
-		fail(fmt.Errorf("unknown program %q (try hello, jacobi, adcirc, ping, empty)", name))
-		return nil, nil
-	}
 }

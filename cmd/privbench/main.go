@@ -3,14 +3,15 @@
 //
 // Usage:
 //
+//	privbench -experiment=list
 //	privbench -experiment=all
 //	privbench -experiment=fig5 -nodes 8
 //	privbench -experiment=table2 -cores 1,2,4,8,16,32,64
 //
-// Experiments: tables (Tables 1 & 3), fig5 (startup), fig6 (context
-// switch), fig7 (privatized access), fig8 (migration), icache (§4.5),
-// table2/fig9 (ADCIRC strong scaling), ftsweep (supervised
-// time-to-solution vs MTBF).
+// Every experiment is an entry in the harness registry;
+// `-experiment=list` enumerates them with their descriptions, the
+// flags they consume, and the trace-selection keys they honor, so
+// this help never drifts from the code.
 package main
 
 import (
@@ -28,12 +29,11 @@ import (
 	"provirt/internal/harness"
 	"provirt/internal/sim"
 	"provirt/internal/trace"
-	"provirt/internal/workloads/adcirc"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, tables, fig5, fig6, fig7, fig8, icache, table2, fig9, ftsweep")
+		"which experiment to run: all, list, or one of "+strings.Join(harness.ExperimentNames(), ", "))
 	nodes := flag.Int("nodes", 1, "node count for fig5")
 	coresFlag := flag.String("cores", "1,2,4,8,16,32,64", "core counts for table2/fig9")
 	mtbfFlag := flag.String("mtbf", "",
@@ -43,11 +43,12 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceFile := flag.String("trace", "",
-		"write a virtual-time event trace of one sweep point to this file (requires a single -experiment: fig5, fig5scale, fig6, fig7, fig8, table2, fig9)")
+		"write a virtual-time event trace of one sweep point to this file (requires a single traceable -experiment: "+
+			strings.Join(harness.TraceableNames(), ", ")+")")
 	traceFormat := flag.String("trace-format", "jsonl",
 		"trace file format: jsonl (one event per line) or chrome (Perfetto-loadable trace-event JSON)")
 	traceMethod := flag.String("trace-method", "pieglobals",
-		"privatization method of the sweep point to trace (fig5/fig6/fig7/fig8)")
+		"privatization method of the sweep point to trace (fig5/fig6/fig7/fig8/ftsweep)")
 	traceHeap := flag.Uint64("trace-heap", 1<<20,
 		"per-rank heap size in bytes of the fig8 point to trace")
 	traceCores := flag.Int("trace-cores", 1, "core count of the table2/fig9 point to trace")
@@ -60,6 +61,11 @@ func main() {
 	profileRanks := flag.Bool("profile-ranks", false,
 		"print per-rank and per-PE virtual-time utilization profiles with a critical-path summary for the traced sweep point")
 	flag.Parse()
+
+	if *experiment == "list" {
+		listExperiments()
+		return
+	}
 
 	cores, err := parseInts(*coresFlag)
 	if err != nil {
@@ -75,7 +81,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "privbench: -parallel must be >= 1, got %d\n", *parallel)
 		os.Exit(2)
 	}
-	harness.Parallelism = *parallel
+
+	var selected []harness.Experiment
+	if *experiment == "all" {
+		selected = harness.Experiments()
+	} else {
+		e, ok := harness.LookupExperiment(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "privbench: unknown experiment %q (try -experiment=list)\n", *experiment)
+			os.Exit(2)
+		}
+		selected = []harness.Experiment{e}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -111,11 +128,11 @@ func main() {
 	// selection is resolved here, from flags, so it is concrete before
 	// any (possibly parallel) sweep starts.
 	var rec *trace.Recorder
+	var sel *harness.TraceSel
 	if *traceFile != "" || *profileRanks {
-		switch *experiment {
-		case "fig5", "fig5scale", "fig6", "fig7", "fig8", "table2", "fig9", "ftsweep":
-		default:
-			fmt.Fprintf(os.Stderr, "privbench: -trace/-profile-ranks need -experiment to be one of fig5, fig5scale, fig6, fig7, fig8, table2, fig9, ftsweep (got %q)\n", *experiment)
+		if len(selected) != 1 || !selected[0].Traceable {
+			fmt.Fprintf(os.Stderr, "privbench: -trace/-profile-ranks need -experiment to be one of %s (got %q)\n",
+				strings.Join(harness.TraceableNames(), ", "), *experiment)
 			os.Exit(2)
 		}
 		if *traceFormat != "jsonl" && *traceFormat != "chrome" {
@@ -133,7 +150,7 @@ func main() {
 			os.Exit(2)
 		}
 		rec = trace.NewRecorder()
-		harness.TraceSelection = &harness.TraceSel{
+		sel = &harness.TraceSel{
 			Method: kind,
 			Nodes:  *nodes,
 			Heap:   *traceHeap,
@@ -145,107 +162,21 @@ func main() {
 		}
 	}
 
-	run := func(name string, fn func() error) {
-		if *experiment != "all" && *experiment != name {
-			return
-		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "privbench: %s: %v\n", name, err)
-			os.Exit(1)
-		}
+	ropts := harness.RunOpts{
+		Opts:  harness.Opts{Parallelism: *parallel, Trace: sel},
+		Nodes: *nodes,
+		Cores: cores,
+		MTBFs: mtbfs,
 	}
-
-	run("tables", func() error {
-		fmt.Println(harness.Table1())
-		fmt.Println(harness.Table3())
-		return nil
-	})
-	run("fig5", func() error {
-		_, tbl, err := harness.Fig5Startup(*nodes)
+	for _, e := range selected {
+		res, err := e.Run(ropts)
 		if err != nil {
-			return err
-		}
-		fmt.Println(tbl)
-		return nil
-	})
-	run("fig5scale", func() error {
-		tbl, err := harness.Fig5Scaling([]int{1, 2, 4, 8})
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl)
-		return nil
-	})
-	run("fig6", func() error {
-		_, tbl, err := harness.Fig6ContextSwitch()
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl)
-		return nil
-	})
-	run("fig7", func() error {
-		_, tbl, err := harness.Fig7JacobiAccess()
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl)
-		return nil
-	})
-	run("fig8", func() error {
-		_, tbl, err := harness.Fig8Migration()
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl)
-		return nil
-	})
-	run("icache", func() error {
-		_, tbl := harness.ICacheExperiment()
-		fmt.Println(tbl)
-		return nil
-	})
-	run("memory", func() error {
-		_, tbl, err := harness.MemoryFootprint()
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl)
-		return nil
-	})
-	run("ftsweep", func() error {
-		_, tbl, err := harness.FTSweep(mtbfs)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tbl)
-		return nil
-	})
-	adcircScaling := func() error {
-		_, t2, f9, err := harness.AdcircScaling(adcirc.DefaultConfig(), cores)
-		if err != nil {
-			return err
-		}
-		fmt.Println(t2)
-		fmt.Println(f9)
-		return nil
-	}
-	switch *experiment {
-	case "table2", "fig9":
-		if err := adcircScaling(); err != nil {
-			fmt.Fprintf(os.Stderr, "privbench: %s: %v\n", *experiment, err)
+			fmt.Fprintf(os.Stderr, "privbench: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
-	case "all":
-		if err := adcircScaling(); err != nil {
-			fmt.Fprintf(os.Stderr, "privbench: adcirc: %v\n", err)
-			os.Exit(1)
+		for _, tbl := range res.Tables {
+			fmt.Println(tbl)
 		}
-	case "tables", "fig5", "fig5scale", "fig6", "fig7", "fig8", "icache", "memory", "ftsweep":
-		// handled above
-	default:
-		fmt.Fprintf(os.Stderr, "privbench: unknown experiment %q\n", *experiment)
-		os.Exit(2)
 	}
 
 	if rec != nil {
@@ -265,6 +196,29 @@ func main() {
 			fmt.Println(p.RankTable())
 			fmt.Println(p.PETable())
 			fmt.Println(p.CriticalPath().Summary())
+		}
+	}
+}
+
+// listExperiments prints the registry: one line per experiment with
+// its aliases, the extra flags it reads, and its trace keys.
+func listExperiments() {
+	fmt.Println("experiments (run with -experiment=NAME; all runs every one in this order):")
+	for _, e := range harness.Experiments() {
+		name := e.Name
+		if len(e.Aliases) > 0 {
+			name += " (alias " + strings.Join(e.Aliases, ", ") + ")"
+		}
+		fmt.Printf("  %-24s %s\n", name, e.Description)
+		var notes []string
+		for _, f := range e.Flags {
+			notes = append(notes, "-"+f)
+		}
+		if e.Traceable {
+			notes = append(notes, "traceable by "+strings.Join(e.TraceKeys, "/"))
+		}
+		if len(notes) > 0 {
+			fmt.Printf("  %-24s %s\n", "", strings.Join(notes, "; "))
 		}
 	}
 }

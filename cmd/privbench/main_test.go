@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"provirt/internal/ampi"
+	"provirt/internal/sim"
+)
 
 func TestParseInts(t *testing.T) {
 	good := map[string][]int{
@@ -28,6 +34,53 @@ func TestParseInts(t *testing.T) {
 	for _, in := range []string{"", "x", "0", "-2", "1,zero"} {
 		if _, err := parseInts(in); err == nil {
 			t.Errorf("parseInts(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	good := map[string][]sim.Time{
+		"":             nil, // empty selects the experiment default
+		"   ":          nil,
+		"120ms":        {sim.Time(120 * time.Millisecond)},
+		"120ms, 1s ,":  {sim.Time(120 * time.Millisecond), sim.Time(time.Second)},
+		"500us,2m":     {sim.Time(500 * time.Microsecond), sim.Time(2 * time.Minute)},
+		"1.5s":         {sim.Time(1500 * time.Millisecond)},
+		"120ms,,960ms": {sim.Time(120 * time.Millisecond), sim.Time(960 * time.Millisecond)},
+	}
+	for in, want := range good {
+		got, err := parseDurations(in)
+		if err != nil {
+			t.Errorf("parseDurations(%q): %v", in, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("parseDurations(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("parseDurations(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	for _, in := range []string{"x", "120", "0s", "-5ms", "120ms,never"} {
+		if _, err := parseDurations(in); err == nil {
+			t.Errorf("parseDurations(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseTarget(t *testing.T) {
+	if got, err := parseTarget("fs"); err != nil || got != ampi.TargetFS {
+		t.Errorf("parseTarget(fs) = %v, %v", got, err)
+	}
+	if got, err := parseTarget("buddy"); err != nil || got != ampi.TargetBuddy {
+		t.Errorf("parseTarget(buddy) = %v, %v", got, err)
+	}
+	for _, in := range []string{"", "disk", "FS"} {
+		if _, err := parseTarget(in); err == nil {
+			t.Errorf("parseTarget(%q) accepted", in)
 		}
 	}
 }

@@ -9,5 +9,8 @@
 // See README.md for a guided tour, DESIGN.md for the system inventory,
 // and EXPERIMENTS.md for paper-vs-measured results. The benchmark
 // harness in bench_test.go regenerates every table and figure of the
-// paper's evaluation; cmd/privbench prints them.
+// paper's evaluation; cmd/privbench prints them (-experiment=list
+// enumerates the registry). Experiments are declared in
+// internal/scenario Specs and run through explicit harness options —
+// no package-level knobs.
 package provirt

@@ -9,23 +9,30 @@
 //  3. overdecomposed 8x with GreedyRefineLB migrating ranks under
 //     PIEglobals.
 //
-// Run with: go run ./examples/adcirc
+// Run with: go run ./examples/adcirc [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"provirt/internal/ampi"
 	"provirt/internal/core"
 	"provirt/internal/lb"
 	"provirt/internal/machine"
+	"provirt/internal/scenario"
 	"provirt/internal/trace"
 	"provirt/internal/workloads/adcirc"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "reduced problem size (smoke runs)")
+	flag.Parse()
+
 	cfg := adcirc.DefaultConfig()
+	if *quick {
+		cfg.Width, cfg.Height, cfg.Steps, cfg.LBPeriod = 96, 128, 8, 4
+	}
 	const pes = 8
 
 	type variant struct {
@@ -50,17 +57,15 @@ func main() {
 			run.LBPeriod = 0
 		}
 		var volume uint64
-		prog := adcirc.New(run, func(r adcirc.Result) { volume += r.WetCellSteps })
-		w, err := ampi.NewWorld(ampi.Config{
-			Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: pes},
-			VPs:       v.vps,
-			Privatize: core.KindPIEglobals,
-			Balancer:  v.balancer,
-		}, prog)
-		if err != nil {
-			log.Fatalf("adcirc: %v", err)
+		sp := scenario.Spec{
+			Machine:  machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: pes},
+			VPs:      v.vps,
+			Method:   core.KindPIEglobals,
+			Program:  adcirc.New(run, func(r adcirc.Result) { volume += r.WetCellSteps }),
+			Balancer: v.balancer,
 		}
-		if err := w.Run(); err != nil {
+		w, err := sp.Run()
+		if err != nil {
 			log.Fatalf("adcirc: %v", err)
 		}
 		if oracle := adcirc.TotalWetCellSteps(run); volume != oracle {

@@ -8,23 +8,30 @@
 // whichever ranks the front is crossing — and the periodic regrid step
 // (AMPI_Migrate + GreedyRefineLB under PIEglobals) chases it.
 //
-// Run with: go run ./examples/amr
+// Run with: go run ./examples/amr [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"provirt/internal/ampi"
 	"provirt/internal/core"
 	"provirt/internal/lb"
 	"provirt/internal/machine"
+	"provirt/internal/scenario"
 	"provirt/internal/trace"
 	"provirt/internal/workloads/amr"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "reduced problem size (smoke runs)")
+	flag.Parse()
+
 	cfg := amr.DefaultConfig()
+	if *quick {
+		cfg.BlocksX, cfg.BlocksY, cfg.Steps, cfg.RegridEvery = 8, 8, 8, 4
+	}
 	const pes = 8
 
 	fmt.Printf("AMR: %dx%d blocks, %d cells/block-edge, %d refinement levels, %d steps\n",
@@ -49,17 +56,15 @@ func main() {
 			run.RegridEvery = 0
 		}
 		var updates uint64
-		prog := amr.New(run, func(r amr.Result) { updates += r.CellUpdates })
-		w, err := ampi.NewWorld(ampi.Config{
-			Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: pes},
-			VPs:       v.vps,
-			Privatize: core.KindPIEglobals,
-			Balancer:  v.balancer,
-		}, prog)
-		if err != nil {
-			log.Fatalf("amr: %v", err)
+		sp := scenario.Spec{
+			Machine:  machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: pes},
+			VPs:      v.vps,
+			Method:   core.KindPIEglobals,
+			Program:  amr.New(run, func(r amr.Result) { updates += r.CellUpdates }),
+			Balancer: v.balancer,
 		}
-		if err := w.Run(); err != nil {
+		w, err := sp.Run()
+		if err != nil {
 			log.Fatalf("amr: %v", err)
 		}
 		if updates != amr.TotalCellUpdates(run) {

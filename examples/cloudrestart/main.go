@@ -3,18 +3,20 @@
 // changes during a run — can the job be stopped and restarted from
 // that point later on?"
 //
-// A 16-rank iterative solve checkpoints to the shared filesystem at
-// iteration 10 of 24. The job is then "interrupted" (spot price spike)
-// and restarted from the snapshot on HALF the cores — possible because
+// A 16-rank iterative solve checkpoints to the shared filesystem part
+// way through. The job is then "interrupted" (spot price spike) and
+// restarted from the snapshot on HALF the cores — possible because
 // rank state serializes placement-independently through Isomalloc, and
 // 16 virtual ranks run as happily on 4 PEs as on 8. Each rank resumes
 // from its restored iteration counter; the final answer matches an
-// uninterrupted run exactly.
+// uninterrupted run exactly. The restarted phase is declared as a
+// scenario.Spec whose Restart field carries the snapshot.
 //
-// Run with: go run ./examples/cloudrestart
+// Run with: go run ./examples/cloudrestart [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -22,14 +24,11 @@ import (
 	"provirt/internal/core"
 	"provirt/internal/elf"
 	"provirt/internal/machine"
+	"provirt/internal/scenario"
 	"provirt/internal/trace"
 )
 
-const (
-	vps        = 16
-	totalIters = 24
-	ckptAt     = 10
-)
+const vps = 16
 
 func image() *elf.Image {
 	return elf.NewBuilder("cloudsolver").
@@ -42,7 +41,7 @@ func image() *elf.Image {
 
 // program iterates, accumulating into privatized state; interrupt=true
 // stops the job right after the checkpoint (the price spike).
-func program(interrupt bool, finals []uint64) *ampi.Program {
+func program(interrupt bool, totalIters, ckptAt int, finals []uint64) *ampi.Program {
 	return &ampi.Program{
 		Image: image(),
 		Main: func(r *ampi.Rank) {
@@ -65,7 +64,7 @@ func program(interrupt bool, finals []uint64) *ampi.Program {
 	}
 }
 
-func expected(rank int) uint64 {
+func expected(rank, totalIters int) uint64 {
 	var sum uint64
 	for it := 1; it <= totalIters; it++ {
 		sum += uint64(it) * uint64(rank+1)
@@ -74,18 +73,24 @@ func expected(rank int) uint64 {
 }
 
 func main() {
+	quick := flag.Bool("quick", false, "reduced iteration count (smoke runs)")
+	flag.Parse()
+	totalIters, ckptAt := 24, 10
+	if *quick {
+		totalIters, ckptAt = 8, 4
+	}
+
 	// Phase 1: 8 PEs, interrupted at the checkpoint.
 	fmt.Printf("phase 1: %d ranks on 8 PEs, checkpoint at iteration %d/%d, then interrupted\n",
 		vps, ckptAt, totalIters)
-	w1, err := ampi.NewWorld(ampi.Config{
-		Machine:   machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 4},
-		VPs:       vps,
-		Privatize: core.KindPIEglobals,
-	}, program(true, make([]uint64, vps)))
-	if err != nil {
-		log.Fatalf("cloudrestart: %v", err)
+	sp1 := scenario.Spec{
+		Machine: machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 4},
+		VPs:     vps,
+		Method:  core.KindPIEglobals,
+		Program: program(true, totalIters, ckptAt, make([]uint64, vps)),
 	}
-	if err := w1.Run(); err != nil {
+	w1, err := sp1.Run()
+	if err != nil {
 		log.Fatalf("cloudrestart: %v", err)
 	}
 	ck := w1.LastCheckpoint()
@@ -99,20 +104,20 @@ func main() {
 	// 4 PEs.
 	fmt.Printf("phase 2: restart from the snapshot on 4 PEs (half the cores)\n")
 	finals := make([]uint64, vps)
-	w2, err := ampi.NewWorldFromCheckpoint(ampi.Config{
-		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 4},
-		VPs:       vps,
-		Privatize: core.KindPIEglobals,
-	}, program(false, finals), ck)
+	sp2 := scenario.Spec{
+		Machine: machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 4},
+		VPs:     vps,
+		Method:  core.KindPIEglobals,
+		Program: program(false, totalIters, ckptAt, finals),
+		Restart: ck,
+	}
+	w2, err := sp2.Run()
 	if err != nil {
 		log.Fatalf("cloudrestart: %v", err)
 	}
-	if err := w2.Run(); err != nil {
-		log.Fatalf("cloudrestart: %v", err)
-	}
 	for vp, got := range finals {
-		if got != expected(vp) {
-			log.Fatalf("cloudrestart: rank %d finished with %d, want %d — lost work!", vp, got, expected(vp))
+		if got != expected(vp, totalIters) {
+			log.Fatalf("cloudrestart: rank %d finished with %d, want %d — lost work!", vp, got, expected(vp, totalIters))
 		}
 	}
 	fmt.Printf("  all %d ranks resumed at iteration %d and finished with the exact\n", vps, ckptAt)

@@ -8,43 +8,51 @@
 // privatized globals, so the run also reports the privatized-access
 // count.
 //
-// Run with: go run ./examples/jacobi3d
+// Run with: go run ./examples/jacobi3d [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"provirt/internal/ampi"
 	"provirt/internal/core"
 	"provirt/internal/machine"
+	"provirt/internal/scenario"
 	"provirt/internal/trace"
 	"provirt/internal/workloads/jacobi"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "reduced problem size (smoke runs)")
+	flag.Parse()
+
 	cfg := jacobi.Config{NX: 48, NY: 48, NZ: 48, Iters: 25}
+	ratios := []int{1, 2, 4, 8}
+	if *quick {
+		cfg = jacobi.Config{NX: 16, NY: 16, NZ: 16, Iters: 6}
+		ratios = []int{1, 2}
+	}
 	const pes = 4
 
-	tbl := trace.NewTable("Jacobi-3D 48^3, 25 iterations, 4 PEs, PIEglobals",
+	tbl := trace.NewTable(
+		fmt.Sprintf("Jacobi-3D %d^3, %d iterations, %d PEs, PIEglobals", cfg.NX, cfg.Iters, pes),
 		"VPs", "ratio", "execution", "ULT switches", "privatized accesses", "residual")
-	for _, ratio := range []int{1, 2, 4, 8} {
+	for _, ratio := range ratios {
 		vps := pes * ratio
 		var accesses uint64
 		var residual float64
-		prog := jacobi.New(cfg, func(r jacobi.Result) {
-			accesses += r.Accesses
-			residual = r.Residual
-		})
-		w, err := ampi.NewWorld(ampi.Config{
-			Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: pes},
-			VPs:       vps,
-			Privatize: core.KindPIEglobals,
-		}, prog)
-		if err != nil {
-			log.Fatalf("jacobi3d: %v", err)
+		sp := scenario.Spec{
+			Machine: machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: pes},
+			VPs:     vps,
+			Method:  core.KindPIEglobals,
+			Program: jacobi.New(cfg, func(r jacobi.Result) {
+				accesses += r.Accesses
+				residual = r.Residual
+			}),
 		}
-		if err := w.Run(); err != nil {
+		w, err := sp.Run()
+		if err != nil {
 			log.Fatalf("jacobi3d: %v", err)
 		}
 		tbl.AddRow(

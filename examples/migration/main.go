@@ -5,12 +5,15 @@
 // heap is migrated across nodes under TLSglobals and PIEglobals; the
 // example prints each payload's composition and timing (the Fig. 8
 // asymmetry), then demonstrates pieglobalsfind on a privatized function
-// address.
+// address. Finally, a non-migratable method is paired with a load
+// balancer to show scenario.Spec rejecting the combination up front,
+// before any world is built.
 //
-// Run with: go run ./examples/migration
+// Run with: go run ./examples/migration [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -18,18 +21,25 @@ import (
 	"provirt/internal/core"
 	"provirt/internal/lb"
 	"provirt/internal/machine"
+	"provirt/internal/scenario"
 	"provirt/internal/trace"
 	"provirt/internal/workloads/adcirc"
 )
 
-const userHeap = 8 << 20 // 8 MiB of application state
-
 func main() {
-	fmt.Println("Migrating one rank (ADCIRC-sized binary, 8 MiB user heap) across nodes:")
+	quick := flag.Bool("quick", false, "reduced user-heap size (smoke runs)")
+	flag.Parse()
+	userHeap := uint64(8 << 20) // 8 MiB of application state
+	if *quick {
+		userHeap = 1 << 20
+	}
+
+	fmt.Printf("Migrating one rank (ADCIRC-sized binary, %s user heap) across nodes:\n",
+		trace.FormatBytes(int64(userHeap)))
 	fmt.Println()
 	tbl := trace.NewTable("", "Method", "Payload", "Migration time", "Notes")
 	for _, kind := range []core.Kind{core.KindTLSglobals, core.KindPIEglobals} {
-		rec := migrateOnce(kind)
+		rec := migrateOnce(kind, userHeap)
 		note := "stack + heap + TLS block"
 		if kind == core.KindPIEglobals {
 			note = "stack + heap + TLS + code & data segments"
@@ -41,47 +51,42 @@ func main() {
 
 	demoPieglobalsFind()
 
-	fmt.Println("\nNon-migratable methods refuse politely:")
-	prog := &ampi.Program{
-		Image: adcirc.Image(),
-		Main:  func(r *ampi.Rank) { r.Migrate() },
+	fmt.Println("\nNon-migratable methods refuse up front, at Spec validation:")
+	bad := scenario.Spec{
+		Machine: machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 1},
+		VPs:     1,
+		Method:  core.KindPIPglobals,
+		Program: &ampi.Program{
+			Image: adcirc.Image(),
+			Main:  func(r *ampi.Rank) { r.Migrate() },
+		},
+		Balancer: lb.RotateLB{},
 	}
-	w, err := ampi.NewWorld(ampi.Config{
-		Machine:   machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 1},
-		VPs:       1,
-		Privatize: core.KindPIPglobals,
-		Balancer:  forceMove{},
-	}, prog)
-	if err != nil {
-		log.Fatalf("migration: %v", err)
-	}
-	if err := w.Run(); err != nil {
+	if err := bad.Validate(); err != nil {
 		fmt.Printf("  %v\n", err)
 	} else {
-		log.Fatal("migration: expected PIPglobals migration to fail")
+		log.Fatal("migration: expected PIPglobals + balancer to fail validation")
 	}
 }
 
-func migrateOnce(kind core.Kind) ampi.MigrationRecord {
-	prog := &ampi.Program{
-		Image: adcirc.Image(),
-		Main: func(r *ampi.Rank) {
-			if _, err := r.Ctx().Heap.AllocBallast(userHeap, "app-state"); err != nil {
-				panic(err)
-			}
-			r.Migrate()
+func migrateOnce(kind core.Kind, userHeap uint64) ampi.MigrationRecord {
+	sp := scenario.Spec{
+		Machine: machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 1},
+		VPs:     1,
+		Method:  kind,
+		Program: &ampi.Program{
+			Image: adcirc.Image(),
+			Main: func(r *ampi.Rank) {
+				if _, err := r.Ctx().Heap.AllocBallast(userHeap, "app-state"); err != nil {
+					panic(err)
+				}
+				r.Migrate()
+			},
 		},
+		Balancer: lb.RotateLB{},
 	}
-	w, err := ampi.NewWorld(ampi.Config{
-		Machine:   machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 1},
-		VPs:       1,
-		Privatize: kind,
-		Balancer:  lb.RotateLB{},
-	}, prog)
+	w, err := sp.Run()
 	if err != nil {
-		log.Fatalf("migration: %v", err)
-	}
-	if err := w.Run(); err != nil {
 		log.Fatalf("migration: %v", err)
 	}
 	recs := w.LastMigrations()
@@ -93,44 +98,28 @@ func migrateOnce(kind core.Kind) ampi.MigrationRecord {
 
 func demoPieglobalsFind() {
 	fmt.Println("pieglobalsfind: translating a privatized address for the debugger:")
-	prog := &ampi.Program{
-		Image: adcirc.Image(),
-		Main: func(r *ampi.Rank) {
-			ctx := r.Ctx()
-			addr, err := ctx.FuncAddr("momentum_solve")
-			if err != nil {
-				panic(err)
-			}
-			res, err := core.PieglobalsFind(ctx, addr+0x42)
-			if err != nil {
-				panic(err)
-			}
-			fmt.Printf("  privatized %#x -> original %#x  (%s+%#x in %s segment)\n",
-				addr+0x42, res.Original, res.Symbol, res.Offset, res.Segment)
+	sp := scenario.Spec{
+		Machine: machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 1},
+		VPs:     1,
+		Method:  core.KindPIEglobals,
+		Program: &ampi.Program{
+			Image: adcirc.Image(),
+			Main: func(r *ampi.Rank) {
+				ctx := r.Ctx()
+				addr, err := ctx.FuncAddr("momentum_solve")
+				if err != nil {
+					panic(err)
+				}
+				res, err := core.PieglobalsFind(ctx, addr+0x42)
+				if err != nil {
+					panic(err)
+				}
+				fmt.Printf("  privatized %#x -> original %#x  (%s+%#x in %s segment)\n",
+					addr+0x42, res.Original, res.Symbol, res.Offset, res.Segment)
+			},
 		},
 	}
-	w, err := ampi.NewWorld(ampi.Config{
-		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 1},
-		VPs:       1,
-		Privatize: core.KindPIEglobals,
-	}, prog)
-	if err != nil {
+	if _, err := sp.Run(); err != nil {
 		log.Fatalf("migration: %v", err)
 	}
-	if err := w.Run(); err != nil {
-		log.Fatalf("migration: %v", err)
-	}
-}
-
-// forceMove deliberately ignores migratability to show the runtime's
-// enforcement.
-type forceMove struct{}
-
-func (forceMove) Name() string { return "forceMove" }
-func (forceMove) Rebalance(loads []lb.RankLoad, numPEs int) []int {
-	out := make([]int, len(loads))
-	for i, l := range loads {
-		out[i] = (l.PE + 1) % numPEs
-	}
-	return out
 }

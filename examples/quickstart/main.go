@@ -5,52 +5,56 @@
 // without privatization (both ranks print the last writer's value, the
 // bug of Fig. 3), then under each privatization method that fixes it.
 //
+// Each run is declared as a scenario.Spec naming the registered
+// "hello" workload; the Spec's Build resolves the workload and its
+// report function.
+//
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"sort"
 
-	"provirt/internal/ampi"
 	"provirt/internal/core"
 	"provirt/internal/machine"
-	"provirt/internal/workloads/synth"
+	"provirt/internal/scenario"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "reduced problem size (already tiny; accepted for smoke-run uniformity)")
+	flag.Parse()
+
 	fmt.Println("$ ./hello_world +vp 2   # no privatization (Fig. 3)")
-	run(core.KindNone)
+	run(core.KindNone, *quick)
 
 	for _, kind := range []core.Kind{
 		core.KindTLSglobals, core.KindPIPglobals,
 		core.KindFSglobals, core.KindPIEglobals,
 	} {
 		fmt.Printf("\n$ ./hello_world +vp 2   # -privatize %s\n", kind)
-		run(kind)
+		run(kind, *quick)
 	}
 
 	fmt.Println("\nEach runtime method privatizes the global automatically;")
 	fmt.Println("only PIEglobals additionally supports dynamic rank migration.")
 }
 
-func run(kind core.Kind) {
-	var results []synth.HelloResult
-	prog := synth.Hello(func(hr synth.HelloResult) { results = append(results, hr) })
-	w, err := ampi.NewWorld(ampi.Config{
-		Machine:   machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 1},
-		VPs:       2,
-		Privatize: kind,
-	}, prog)
+func run(kind core.Kind, quick bool) {
+	sp := scenario.Spec{
+		Machine:        machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 1},
+		VPs:            2,
+		Method:         kind,
+		Workload:       "hello",
+		WorkloadParams: scenario.WorkloadParams{Quick: quick},
+	}
+	built, err := sp.Build()
 	if err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}
-	if err := w.Run(); err != nil {
+	if err := built.World.Run(); err != nil {
 		log.Fatalf("quickstart: %v", err)
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].VP < results[j].VP })
-	for _, hr := range results {
-		fmt.Printf("rank: %d\n", hr.Printed)
-	}
+	built.Report()
 }

@@ -3,9 +3,9 @@ package harness
 import (
 	"fmt"
 
-	"provirt/internal/ampi"
 	"provirt/internal/core"
 	"provirt/internal/lb"
+	"provirt/internal/scenario"
 	"provirt/internal/sim"
 	"provirt/internal/trace"
 	"provirt/internal/workloads/adcirc"
@@ -40,22 +40,23 @@ func Table2Cores() []int { return []int{1, 2, 4, 8, 16, 32, 64} }
 func AdcircRatios() []int { return []int{2, 4, 8} }
 
 // runAdcirc executes one configuration and returns execution time.
-func runAdcirc(cfg adcirc.Config, cores, vps int, balancer lb.Strategy) (sim.Time, error) {
+func runAdcirc(o Opts, cfg adcirc.Config, cores, vps int, balancer lb.Strategy) (sim.Time, error) {
 	acfg := cfg
 	if balancer == nil {
 		acfg.LBPeriod = 0
 	}
 	ratio := vps / cores
-	wcfg := ampi.Config{
-		Machine:   machineShape(1, 1, cores),
-		VPs:       vps,
-		Privatize: core.KindPIEglobals,
-		Balancer:  balancer,
-		Tracer: tracerFor(func(ts *TraceSel) bool {
+	sp := scenario.Spec{
+		Machine:  machineShape(1, 1, cores),
+		VPs:      vps,
+		Method:   core.KindPIEglobals,
+		Program:  adcirc.New(acfg, nil),
+		Balancer: balancer,
+		Tracer: o.tracerFor(func(ts *TraceSel) bool {
 			return ts.Cores == cores && ts.Ratio == ratio
 		}),
 	}
-	w, err := runWorld(wcfg, adcirc.New(acfg, nil))
+	w, err := sp.Run()
 	if err != nil {
 		return 0, err
 	}
@@ -66,7 +67,7 @@ func runAdcirc(cfg adcirc.Config, cores, vps int, balancer lb.Strategy) (sim.Tim
 // core count, an unvirtualized/unbalanced baseline plus each
 // virtualization ratio with GreedyRefineLB. It reproduces Table 2 (best
 // speedup per core count) and Fig. 9 (the full time series).
-func AdcircScaling(cfg adcirc.Config, cores []int) ([]AdcircRow, *trace.Table, *trace.Table, error) {
+func AdcircScaling(o Opts, cfg adcirc.Config, cores []int) ([]AdcircRow, *trace.Table, *trace.Table, error) {
 	if cores == nil {
 		cores = Table2Cores()
 	}
@@ -89,13 +90,13 @@ func AdcircScaling(cfg adcirc.Config, cores []int) ([]AdcircRow, *trace.Table, *
 		}
 	}
 	times := make([]sim.Time, len(jobs))
-	err := runner().Run(len(jobs), func(i int) error {
+	err := o.runner().Run(len(jobs), func(i int) error {
 		j := jobs[i]
 		var bal lb.Strategy
 		if j.balanced {
 			bal = lb.GreedyRefineLB{}
 		}
-		tt, err := runAdcirc(cfg, j.cores, j.cores*j.ratio, bal)
+		tt, err := runAdcirc(o, cfg, j.cores, j.cores*j.ratio, bal)
 		if err != nil {
 			if !j.balanced {
 				return fmt.Errorf("adcirc baseline cores=%d: %w", j.cores, err)

@@ -14,31 +14,16 @@ import (
 // serial execution. These tests pin that contract for the Fig. 5
 // startup sweep and the Table 2 / Fig. 9 ADCIRC sweep.
 
-func withParallelism(t *testing.T, n int, f func()) {
-	t.Helper()
-	old := harness.Parallelism
-	harness.Parallelism = n
-	defer func() { harness.Parallelism = old }()
-	f()
-}
-
 func TestFig5ParallelSweepIsDeterministic(t *testing.T) {
-	var serialRows, parallelRows string
-	var serialTbl, parallelTbl string
-	withParallelism(t, 1, func() {
-		rows, tbl, err := harness.Fig5Startup(2)
+	run := func(par int) (string, string) {
+		rows, tbl, err := harness.Fig5Startup(harness.Opts{Parallelism: par}, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
-		serialRows, serialTbl = fmt.Sprintf("%#v", rows), tbl.String()
-	})
-	withParallelism(t, 4, func() {
-		rows, tbl, err := harness.Fig5Startup(2)
-		if err != nil {
-			t.Fatal(err)
-		}
-		parallelRows, parallelTbl = fmt.Sprintf("%#v", rows), tbl.String()
-	})
+		return fmt.Sprintf("%#v", rows), tbl.String()
+	}
+	serialRows, serialTbl := run(1)
+	parallelRows, parallelTbl := run(4)
 	if serialRows != parallelRows {
 		t.Errorf("fig5 rows diverge between serial and parallel sweeps:\nserial:   %s\nparallel: %s", serialRows, parallelRows)
 	}
@@ -52,17 +37,15 @@ func TestFig9ParallelSweepIsDeterministic(t *testing.T) {
 	cfg.Width, cfg.Height, cfg.Steps, cfg.LBPeriod = 96, 128, 8, 4
 	cores := []int{1, 2, 4}
 
-	run := func() (rows string, t2 string, f9 string) {
-		r, tbl2, tbl9, err := harness.AdcircScaling(cfg, cores)
+	run := func(par int) (rows string, t2 string, f9 string) {
+		r, tbl2, tbl9, err := harness.AdcircScaling(harness.Opts{Parallelism: par}, cfg, cores)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return fmt.Sprintf("%#v", r), tbl2.String(), tbl9.String()
 	}
-	var sRows, sT2, sF9 string
-	withParallelism(t, 1, func() { sRows, sT2, sF9 = run() })
-	var pRows, pT2, pF9 string
-	withParallelism(t, 4, func() { pRows, pT2, pF9 = run() })
+	sRows, sT2, sF9 := run(1)
+	pRows, pT2, pF9 := run(4)
 
 	if sRows != pRows {
 		t.Errorf("adcirc rows diverge between serial and parallel sweeps:\nserial:   %s\nparallel: %s", sRows, pRows)

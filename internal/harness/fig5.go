@@ -3,8 +3,8 @@ package harness
 import (
 	"fmt"
 
-	"provirt/internal/ampi"
 	"provirt/internal/core"
+	"provirt/internal/scenario"
 	"provirt/internal/sim"
 	"provirt/internal/trace"
 	"provirt/internal/workloads/synth"
@@ -24,26 +24,24 @@ type Fig5Row struct {
 // virtual ranks per process (Fig. 5). nodes controls scale; the
 // dlmopen/PIE methods cost constant per process while FSglobals
 // degrades with node count due to shared-filesystem contention.
-func Fig5Startup(nodes int) ([]Fig5Row, *trace.Table, error) {
+func Fig5Startup(o Opts, nodes int) ([]Fig5Row, *trace.Table, error) {
 	if nodes <= 0 {
 		nodes = 1
 	}
 	methods := Fig5Methods()
 	rows := make([]Fig5Row, len(methods))
-	err := runner().Run(len(methods), func(i int) error {
+	err := o.runner().Run(len(methods), func(i int) error {
 		kind := methods[i]
-		tc, osEnv := envFor(kind, 8)
-		cfg := ampi.Config{
-			Machine:   machineShape(nodes, 1, 1),
-			VPs:       nodes * 8, // 8x virtualization per process
-			Privatize: kind,
-			Toolchain: tc,
-			OS:        osEnv,
-			Tracer: tracerFor(func(ts *TraceSel) bool {
+		sp := scenario.Spec{
+			Machine: machineShape(nodes, 1, 1),
+			VPs:     nodes * 8, // 8x virtualization per process
+			Method:  kind,
+			Program: synth.Empty(),
+			Tracer: o.tracerFor(func(ts *TraceSel) bool {
 				return ts.Method == kind && ts.Nodes == nodes
 			}),
 		}
-		w, err := runWorld(cfg, synth.Empty())
+		w, err := sp.Run()
 		if err != nil {
 			return fmt.Errorf("fig5 %s: %w", kind, err)
 		}
@@ -77,7 +75,7 @@ func Fig5Startup(nodes int) ([]Fig5Row, *trace.Table, error) {
 // §4.1's observation that "with the exception of FSglobals, which
 // relies on a shared file system, the cost is constant per-process and
 // does not increase with node counts".
-func Fig5Scaling(nodeCounts []int) (*trace.Table, error) {
+func Fig5Scaling(o Opts, nodeCounts []int) (*trace.Table, error) {
 	if len(nodeCounts) == 0 {
 		nodeCounts = []int{1, 2, 4, 8}
 	}
@@ -88,8 +86,11 @@ func Fig5Scaling(nodeCounts []int) (*trace.Table, error) {
 	}
 	t := trace.NewTable("Figure 5 (scaling): startup vs node count, 8x virtualization", headers...)
 	perNode := make([][]Fig5Row, len(nodeCounts))
-	err := runner().Run(len(nodeCounts), func(i int) error {
-		rows, _, err := Fig5Startup(nodeCounts[i])
+	err := o.runner().Run(len(nodeCounts), func(i int) error {
+		// The inner sweep runs serially: the outer fan-out already
+		// saturates the workers, and nesting parallel runners would
+		// oversubscribe without changing any output.
+		rows, _, err := Fig5Startup(Opts{Parallelism: 1, Trace: o.Trace}, nodeCounts[i])
 		perNode[i] = rows
 		return err
 	})

@@ -3,8 +3,8 @@ package harness
 import (
 	"fmt"
 
-	"provirt/internal/ampi"
 	"provirt/internal/core"
+	"provirt/internal/scenario"
 	"provirt/internal/sim"
 	"provirt/internal/trace"
 	"provirt/internal/workloads/synth"
@@ -33,21 +33,19 @@ func Fig6Methods() []core.Kind {
 
 // Fig6ContextSwitch runs the two-ULT ping microbenchmark (100,000
 // switches) for each method and reports mean switch time (Fig. 6).
-func Fig6ContextSwitch() ([]Fig6Row, *trace.Table, error) {
+func Fig6ContextSwitch(o Opts) ([]Fig6Row, *trace.Table, error) {
 	methods := Fig6Methods()
 	rows := make([]Fig6Row, len(methods))
-	err := runner().Run(len(methods), func(i int) error {
+	err := o.runner().Run(len(methods), func(i int) error {
 		kind := methods[i]
-		tc, osEnv := envFor(kind, 2)
-		cfg := ampi.Config{
-			Machine:   machineShape(1, 1, 1),
-			VPs:       2,
-			Privatize: kind,
-			Toolchain: tc,
-			OS:        osEnv,
-			Tracer:    tracerFor(func(ts *TraceSel) bool { return ts.Method == kind }),
+		sp := scenario.Spec{
+			Machine: machineShape(1, 1, 1),
+			VPs:     2,
+			Method:  kind,
+			Program: synth.Ping(),
+			Tracer:  o.tracerFor(func(ts *TraceSel) bool { return ts.Method == kind }),
 		}
-		w, err := runWorld(cfg, synth.Ping())
+		w, err := sp.Run()
 		if err != nil {
 			return fmt.Errorf("fig6 %s: %w", kind, err)
 		}

@@ -3,8 +3,8 @@ package harness
 import (
 	"fmt"
 
-	"provirt/internal/ampi"
 	"provirt/internal/core"
+	"provirt/internal/scenario"
 	"provirt/internal/sim"
 	"provirt/internal/trace"
 	"provirt/internal/workloads/jacobi"
@@ -32,22 +32,20 @@ func Fig7Methods() []core.Kind {
 // privatized and compares execution time across methods (Fig. 7). One
 // rank per PE isolates access cost from scheduling effects, matching
 // the paper's experimental intent.
-func Fig7JacobiAccess() ([]Fig7Row, *trace.Table, error) {
+func Fig7JacobiAccess(o Opts) ([]Fig7Row, *trace.Table, error) {
 	cfg := jacobi.Config{NX: 32, NY: 32, NZ: 32, Iters: 20, AccessesPerCell: 6, FlopsPerCell: 8}
 	methods := Fig7Methods()
 	rows := make([]Fig7Row, len(methods))
-	err := runner().Run(len(methods), func(i int) error {
+	err := o.runner().Run(len(methods), func(i int) error {
 		kind := methods[i]
-		tc, osEnv := envFor(kind, 1)
-		wcfg := ampi.Config{
-			Machine:   machineShape(1, 1, 4),
-			VPs:       4,
-			Privatize: kind,
-			Toolchain: tc,
-			OS:        osEnv,
-			Tracer:    tracerFor(func(ts *TraceSel) bool { return ts.Method == kind }),
+		sp := scenario.Spec{
+			Machine: machineShape(1, 1, 4),
+			VPs:     4,
+			Method:  kind,
+			Program: jacobi.New(cfg, nil),
+			Tracer:  o.tracerFor(func(ts *TraceSel) bool { return ts.Method == kind }),
 		}
-		w, err := runWorld(wcfg, jacobi.New(cfg, nil))
+		w, err := sp.Run()
 		if err != nil {
 			return fmt.Errorf("fig7 %s: %w", kind, err)
 		}

@@ -6,6 +6,7 @@ import (
 	"provirt/internal/ampi"
 	"provirt/internal/core"
 	"provirt/internal/lb"
+	"provirt/internal/scenario"
 	"provirt/internal/sim"
 	"provirt/internal/trace"
 	"provirt/internal/workloads/adcirc"
@@ -31,7 +32,7 @@ func Fig8HeapSizes() []uint64 {
 // boundaries as heap size grows, comparing TLSglobals (rank state only)
 // with PIEglobals (rank state plus the ADCIRC-sized 14 MB code segment
 // and data segment), reproducing Fig. 8.
-func Fig8Migration() ([]Fig8Row, *trace.Table, error) {
+func Fig8Migration(o Opts) ([]Fig8Row, *trace.Table, error) {
 	measure := func(kind core.Kind, heap uint64) (sim.Time, uint64, error) {
 		prog := &ampi.Program{
 			Image: adcirc.Image(),
@@ -42,19 +43,17 @@ func Fig8Migration() ([]Fig8Row, *trace.Table, error) {
 				r.Migrate()
 			},
 		}
-		tc, osEnv := envFor(kind, 1)
-		cfg := ampi.Config{
-			Machine:   machineShape(2, 1, 1),
-			VPs:       1,
-			Privatize: kind,
-			Toolchain: tc,
-			OS:        osEnv,
-			Balancer:  lb.RotateLB{},
-			Tracer: tracerFor(func(ts *TraceSel) bool {
+		sp := scenario.Spec{
+			Machine:  machineShape(2, 1, 1),
+			VPs:      1,
+			Method:   kind,
+			Program:  prog,
+			Balancer: lb.RotateLB{},
+			Tracer: o.tracerFor(func(ts *TraceSel) bool {
 				return ts.Method == kind && ts.Heap == heap
 			}),
 		}
-		w, err := runWorld(cfg, prog)
+		w, err := sp.Run()
 		if err != nil {
 			return 0, 0, err
 		}
@@ -70,7 +69,7 @@ func Fig8Migration() ([]Fig8Row, *trace.Table, error) {
 	kinds := []core.Kind{core.KindTLSglobals, core.KindPIEglobals}
 	times := make([]sim.Time, len(heaps)*len(kinds))
 	bytes := make([]uint64, len(heaps)*len(kinds))
-	err := runner().Run(len(times), func(i int) error {
+	err := o.runner().Run(len(times), func(i int) error {
 		heap, kind := heaps[i/len(kinds)], kinds[i%len(kinds)]
 		t, b, err := measure(kind, heap)
 		if err != nil {

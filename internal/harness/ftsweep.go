@@ -7,6 +7,7 @@ import (
 	"provirt/internal/ampi"
 	"provirt/internal/core"
 	"provirt/internal/ft"
+	"provirt/internal/scenario"
 	"provirt/internal/sim"
 	"provirt/internal/trace"
 	"provirt/internal/workloads/synth"
@@ -67,15 +68,19 @@ func FTSweepMethods() []core.Kind {
 }
 
 func ftConfig(kind core.Kind, tracer trace.Tracer) ampi.Config {
-	tc, osEnv := envFor(kind, 1)
-	return ampi.Config{
-		Machine:   machineShape(ftNodes, 1, 2),
-		VPs:       ftVPs,
-		Privatize: kind,
-		Toolchain: tc,
-		OS:        osEnv,
-		Tracer:    tracer,
+	// No Program here: ft.Run constructs the program fresh for every
+	// attempt, so this Spec is lowered to a Config only.
+	sp := scenario.Spec{
+		Machine: machineShape(ftNodes, 1, 2),
+		VPs:     ftVPs,
+		Method:  kind,
+		Tracer:  tracer,
 	}
+	cfg, err := sp.Config()
+	if err != nil {
+		panic(fmt.Sprintf("ftsweep: %v", err))
+	}
+	return cfg
 }
 
 // ftSeed derives each sweep point's crash-plan seed purely from its
@@ -84,15 +89,27 @@ func ftSeed(kind core.Kind, target ampi.CheckpointTarget, mtbf sim.Time) uint64 
 	return 0x9e3779b97f4a7c15 ^ uint64(kind)<<40 ^ uint64(target)<<32 ^ uint64(mtbf)
 }
 
+// ftRun builds and runs one world for a sweep point's measurement.
+func ftRun(cfg ampi.Config, prog *ampi.Program) (*ampi.World, error) {
+	w, err := ampi.NewWorld(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Run(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
 // ftPoint measures one sweep point: a fault-free no-checkpoint
 // baseline, a measured per-checkpoint cost, and then the supervised run
 // under the point's seeded crash plan.
-func ftPoint(kind core.Kind, target ampi.CheckpointTarget, mtbf sim.Time) (FTRow, error) {
+func ftPoint(o Opts, kind core.Kind, target ampi.CheckpointTarget, mtbf sim.Time) (FTRow, error) {
 	row := FTRow{Method: kind, Target: target, MTBF: mtbf}
 
 	// Fault-free baseline, no checkpointing.
 	finals := make([]uint64, ftVPs)
-	w, err := runWorld(ftConfig(kind, nil), synth.Checkpointed(ftIters, ftCompute, finals))
+	w, err := ftRun(ftConfig(kind, nil), synth.Checkpointed(ftIters, ftCompute, finals))
 	if err != nil {
 		return row, err
 	}
@@ -103,7 +120,7 @@ func ftPoint(kind core.Kind, target ampi.CheckpointTarget, mtbf sim.Time) (FTRow
 	// and target.
 	ckCfg := ftConfig(kind, nil)
 	ckCfg.Checkpoint = &ampi.CheckpointPolicy{Target: target, Dir: ftDir, Interval: 1}
-	wck, err := runWorld(ckCfg, synth.Checkpointed(ftIters, ftCompute, finals))
+	wck, err := ftRun(ckCfg, synth.Checkpointed(ftIters, ftCompute, finals))
 	if err != nil {
 		return row, err
 	}
@@ -117,7 +134,7 @@ func ftPoint(kind core.Kind, target ampi.CheckpointTarget, mtbf sim.Time) (FTRow
 	// crash plan whose horizon generously covers the job. MaxRestarts
 	// exceeds the plan's crash count, so the supervisor never gives up
 	// before the plan runs dry.
-	cfg := ftConfig(kind, tracerFor(func(ts *TraceSel) bool {
+	cfg := ftConfig(kind, o.tracerFor(func(ts *TraceSel) bool {
 		return ts.Method == kind && ts.Target == target && ts.MTBF == mtbf
 	}))
 	if row.Interval > 0 {
@@ -158,18 +175,18 @@ func ftPoint(kind core.Kind, target ampi.CheckpointTarget, mtbf sim.Time) (FTRow
 // plans are compiled from per-point seeds before the run — so rows,
 // tables, and any selected trace are byte-identical at any sweep
 // parallelism. A nil mtbfs selects FTSweepMTBFs().
-func FTSweep(mtbfs []sim.Time) ([]FTRow, *trace.Table, error) {
+func FTSweep(o Opts, mtbfs []sim.Time) ([]FTRow, *trace.Table, error) {
 	if mtbfs == nil {
 		mtbfs = FTSweepMTBFs()
 	}
 	kinds := FTSweepMethods()
 	targets := []ampi.CheckpointTarget{ampi.TargetFS, ampi.TargetBuddy}
 	rows := make([]FTRow, len(mtbfs)*len(kinds)*len(targets))
-	err := runner().Run(len(rows), func(i int) error {
+	err := o.runner().Run(len(rows), func(i int) error {
 		mtbf := mtbfs[i/(len(kinds)*len(targets))]
 		kind := kinds[i/len(targets)%len(kinds)]
 		target := targets[i%len(targets)]
-		row, err := ftPoint(kind, target, mtbf)
+		row, err := ftPoint(o, kind, target, mtbf)
 		if err != nil {
 			return fmt.Errorf("ftsweep %s/%s mtbf=%v: %w", kind, target, mtbf, err)
 		}

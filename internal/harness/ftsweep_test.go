@@ -24,16 +24,15 @@ func ftTestMTBFs() []sim.Time {
 }
 
 func TestFTSweepParallelSweepIsDeterministic(t *testing.T) {
-	run := func() (string, string) {
-		rows, tbl, err := harness.FTSweep(ftTestMTBFs())
+	run := func(par int) (string, string) {
+		rows, tbl, err := harness.FTSweep(harness.Opts{Parallelism: par}, ftTestMTBFs())
 		if err != nil {
 			t.Fatal(err)
 		}
 		return fmt.Sprintf("%#v", rows), tbl.String()
 	}
-	var serialRows, serialTbl, parallelRows, parallelTbl string
-	withParallelism(t, 1, func() { serialRows, serialTbl = run() })
-	withParallelism(t, 4, func() { parallelRows, parallelTbl = run() })
+	serialRows, serialTbl := run(1)
+	parallelRows, parallelTbl := run(4)
 	if serialRows != parallelRows {
 		t.Errorf("ftsweep rows diverge between serial and parallel sweeps:\nserial:   %s\nparallel: %s", serialRows, parallelRows)
 	}
@@ -43,21 +42,20 @@ func TestFTSweepParallelSweepIsDeterministic(t *testing.T) {
 }
 
 func TestFaultTracedRunMatchesUntraced(t *testing.T) {
-	run := func() (string, string) {
-		rows, tbl, err := harness.FTSweep(ftTestMTBFs())
+	run := func(o harness.Opts) (string, string) {
+		rows, tbl, err := harness.FTSweep(o, ftTestMTBFs())
 		if err != nil {
 			t.Fatal(err)
 		}
 		return fmt.Sprintf("%#v", rows), tbl.String()
 	}
-	plainRows, plainTbl := run()
-	sel := harness.TraceSel{
+	plainRows, plainTbl := run(harness.Opts{})
+	o, rec := tracing(0, harness.TraceSel{
 		Method: core.KindTLSglobals,
 		Target: ampi.TargetFS,
 		MTBF:   120 * time.Millisecond,
-	}
-	var tracedRows, tracedTbl string
-	rec := withTraceSel(t, sel, func() { tracedRows, tracedTbl = run() })
+	})
+	tracedRows, tracedTbl := run(o)
 	if rec.Len() == 0 {
 		t.Fatal("trace selection matched no ftsweep run")
 	}
@@ -90,19 +88,14 @@ func TestFTSweepTraceBytesParallelismInvariant(t *testing.T) {
 		MTBF:   120 * time.Millisecond,
 	}
 	capture := func(par int) []byte {
-		var out []byte
-		withParallelism(t, par, func() {
-			rec := withTraceSel(t, sel, func() {
-				if _, _, err := harness.FTSweep(ftTestMTBFs()); err != nil {
-					t.Fatal(err)
-				}
-			})
-			if rec.Len() == 0 {
-				t.Fatal("trace selection matched no ftsweep run")
-			}
-			out = jsonl(t, rec)
-		})
-		return out
+		o, rec := tracing(par, sel)
+		if _, _, err := harness.FTSweep(o, ftTestMTBFs()); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Len() == 0 {
+			t.Fatal("trace selection matched no ftsweep run")
+		}
+		return jsonl(t, rec)
 	}
 	serial := capture(1)
 	parallel := capture(4)

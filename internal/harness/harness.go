@@ -1,7 +1,14 @@
 // Package harness regenerates every table and figure of the paper's
 // evaluation (§4) from the simulation. Each experiment returns both
 // structured rows (asserted by tests and benchmarks) and a formatted
-// table (printed by cmd/privbench).
+// table (printed by cmd/privbench), and every experiment is an entry
+// in the registry (see registry.go) so launchers can enumerate and
+// dispatch them uniformly.
+//
+// Experiments take an explicit Opts value — sweep parallelism and the
+// optional trace selection — instead of package-level state, so
+// concurrent experiment execution is safe by construction and a trace
+// selection cannot outlive the call that made it.
 package harness
 
 import (
@@ -16,31 +23,47 @@ import (
 	"provirt/internal/trace"
 )
 
-// Parallelism controls how many independent simulations the sweep
-// experiments (Fig5Startup, Fig5Scaling, Fig6ContextSwitch,
-// Fig7JacobiAccess, Fig8Migration, AdcircScaling) run concurrently.
-// Every simulation is single-threaded and a pure function of its
-// configuration, and result assembly is a serial post-pass, so rows and
-// tables are bit-identical at any setting; 1 forces serial execution.
-// The default uses every available core.
-var Parallelism = runtime.GOMAXPROCS(0)
+// Opts carries the cross-cutting run options every experiment
+// receives. The zero value is ready to use: machine-sized sweep
+// parallelism and no tracing.
+type Opts struct {
+	// Parallelism is how many independent simulations the sweep
+	// experiments run concurrently. Every simulation is
+	// single-threaded and a pure function of its configuration, and
+	// result assembly is a serial post-pass, so rows and tables are
+	// bit-identical at any setting; 1 forces serial execution and
+	// values <= 0 select every available core.
+	Parallelism int
+	// Trace selects exactly one sweep point of the experiment to
+	// trace; nil runs untraced.
+	Trace *TraceSel
+}
+
+// Workers resolves the effective sweep parallelism.
+func (o Opts) Workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // runner returns the sweep runner the experiments fan out with.
-func runner() sweep.Runner { return sweep.Runner{Workers: Parallelism} }
+func (o Opts) runner() sweep.Runner { return sweep.Runner{Workers: o.Workers()} }
 
 // TraceSel selects exactly one sweep point of an experiment to trace.
 // Each experiment matches only the fields it sweeps — Fig5Startup
 // matches (Method, Nodes), Fig6/Fig7 match Method, Fig8 matches
-// (Method, Heap), AdcircScaling matches (Cores, Ratio) — and attaches
-// Rec to the single world whose configuration matches exactly. Because
-// the match is a pure function of the configuration (never of
-// scheduling order), the recorded trace is byte-identical between
-// serial and parallel sweeps, and the untraced worlds of the sweep run
-// exactly as if no selection existed.
+// (Method, Heap), AdcircScaling matches (Cores, Ratio), FTSweep
+// matches (Method, MTBF, Target) — and attaches Rec to the single
+// world whose configuration matches exactly. Because the match is a
+// pure function of the configuration (never of scheduling order), the
+// recorded trace is byte-identical between serial and parallel
+// sweeps, and the untraced worlds of the sweep run exactly as if no
+// selection existed.
 //
-// The caller must make the selection unique for the experiment it runs
-// (e.g. set Nodes when tracing inside Fig5Scaling): a selection that
-// matched two concurrently-running worlds would interleave their
+// The caller must make the selection unique for the experiment it
+// runs (e.g. set Nodes when tracing inside Fig5Scaling): a selection
+// that matched two concurrently-running worlds would interleave their
 // events in one recorder.
 type TraceSel struct {
 	// Method selects the privatization method (fig5/6/7/8).
@@ -62,15 +85,10 @@ type TraceSel struct {
 	Rec *trace.Recorder
 }
 
-// TraceSelection is read by the experiments at world-construction
-// time. Set it (with its Recorder) before calling an experiment and
-// clear it after; it must not change while a sweep is running.
-var TraceSelection *TraceSel
-
 // tracerFor returns the selection's recorder when match reports the
 // sweep point is the selected one, else a nil Tracer.
-func tracerFor(match func(*TraceSel) bool) trace.Tracer {
-	ts := TraceSelection
+func (o Opts) tracerFor(match func(*TraceSel) bool) trace.Tracer {
+	ts := o.Trace
 	if ts == nil || ts.Rec == nil || !match(ts) {
 		return nil
 	}
@@ -109,36 +127,6 @@ func Table3() *trace.Table {
 		t.AddRow(c.DisplayName, c.Automation, c.Portability, c.SMPSupport, c.MigrationSupport)
 	}
 	return t
-}
-
-// runWorld builds and runs a world, returning it; errors are returned
-// for the caller to decide (some experiments expect failures).
-func runWorld(cfg ampi.Config, prog *ampi.Program) (*ampi.World, error) {
-	w, err := ampi.NewWorld(cfg, prog)
-	if err != nil {
-		return nil, err
-	}
-	if err := w.Run(); err != nil {
-		return nil, err
-	}
-	return w, nil
-}
-
-// envFor returns the Bridges-2-like environment adjusted so the given
-// method can run (e.g. PIPglobals at high virtualization gets the
-// patched glibc, as the paper's experiments did).
-func envFor(kind core.Kind, vpsPerProc int) (core.Toolchain, core.OS) {
-	tc, osEnv := core.Bridges2Env()
-	if kind == core.KindPIPglobals && vpsPerProc > 12 {
-		osEnv.PatchedGlibc = true
-	}
-	if kind == core.KindSwapglobals {
-		osEnv.OldOrPatchedLinker = true
-	}
-	if kind == core.KindMPCPrivatize {
-		tc.MPCPatched = true
-	}
-	return tc, osEnv
 }
 
 // machineShape is a convenience constructor.

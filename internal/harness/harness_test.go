@@ -38,7 +38,7 @@ func TestTables1And3MatchPaper(t *testing.T) {
 // non-FSglobals new method stays within ~10-15% of baseline; FSglobals
 // is the slowest.
 func TestFig5Shape(t *testing.T) {
-	rows, tbl, err := harness.Fig5Startup(1)
+	rows, tbl, err := harness.Fig5Startup(harness.Opts{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +69,11 @@ func TestFig5Shape(t *testing.T) {
 // TestFig5FSglobalsDegradesWithScale: only FSglobals startup grows
 // with node count.
 func TestFig5FSglobalsDegradesWithScale(t *testing.T) {
-	rows1, _, err := harness.Fig5Startup(1)
+	rows1, _, err := harness.Fig5Startup(harness.Opts{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows8, _, err := harness.Fig5Startup(8)
+	rows8, _, err := harness.Fig5Startup(harness.Opts{}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestFig5FSglobalsDegradesWithScale(t *testing.T) {
 // TestFig6Shape: ~100ns baseline; every method within 12ns of it;
 // TLSglobals and PIEglobals the two slowest.
 func TestFig6Shape(t *testing.T) {
-	rows, tbl, err := harness.Fig6ContextSwitch()
+	rows, tbl, err := harness.Fig6ContextSwitch(harness.Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestFig6IndependentOfProgramShape(t *testing.T) {
 // TestFig7Shape: no hidden per-access cost — every method within 1% of
 // the unprivatized baseline.
 func TestFig7Shape(t *testing.T) {
-	rows, tbl, err := harness.Fig7JacobiAccess()
+	rows, tbl, err := harness.Fig7JacobiAccess(harness.Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestFig7Shape(t *testing.T) {
 // TestFig8Shape: PIE migration = TLS + segments; the relative gap
 // shrinks as heap grows.
 func TestFig8Shape(t *testing.T) {
-	rows, tbl, err := harness.Fig8Migration()
+	rows, tbl, err := harness.Fig8Migration(harness.Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestICacheContradiction(t *testing.T) {
 // TestFig5ScalingTable renders the node-count sweep and checks it has
 // one row per method.
 func TestFig5ScalingTable(t *testing.T) {
-	tbl, err := harness.Fig5Scaling([]int{1, 2})
+	tbl, err := harness.Fig5Scaling(harness.Opts{}, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestFig5ScalingTable(t *testing.T) {
 // 16 MiB per rank; TLSglobals pays kilobytes; §6's shared-code option
 // removes the 14 MiB code segment from PIEglobals' footprint.
 func TestMemoryFootprintShape(t *testing.T) {
-	rows, tbl, err := harness.MemoryFootprint()
+	rows, tbl, err := harness.MemoryFootprint(harness.Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestAdcircScalingShape(t *testing.T) {
 		t.Skip("adcirc sweep is the long experiment")
 	}
 	cfg := adcirc.DefaultConfig()
-	rows, t2, f9, err := harness.AdcircScaling(cfg, []int{1, 4, 16, 64})
+	rows, t2, f9, err := harness.AdcircScaling(harness.Opts{}, cfg, []int{1, 4, 16, 64})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"provirt/internal/ampi"
 	"provirt/internal/core"
+	"provirt/internal/scenario"
 	"provirt/internal/trace"
 	"provirt/internal/workloads/adcirc"
 )
@@ -24,29 +25,35 @@ type MemoryRow struct {
 // MemoryFootprint measures per-rank privatization memory for each
 // runtime method plus PIEglobals with §6's shared-code-pages
 // optimization.
-func MemoryFootprint() ([]MemoryRow, *trace.Table, error) {
-	img := adcirc.Image()
+func MemoryFootprint(o Opts) ([]MemoryRow, *trace.Table, error) {
 	type variant struct {
 		name   string
-		method core.Method
+		method func() core.Method
 	}
+	// Each sweep point builds its own method instance and image so
+	// concurrent points never share mutable state.
 	variants := []variant{
-		{"tlsglobals", core.New(core.KindTLSglobals)},
-		{"pipglobals", core.New(core.KindPIPglobals)},
-		{"fsglobals", core.New(core.KindFSglobals)},
-		{"pieglobals", core.New(core.KindPIEglobals)},
-		{"pieglobals+sharedcode", core.NewPIEglobals(core.PIEOptions{ShareCodePages: true})},
+		{"tlsglobals", func() core.Method { return core.New(core.KindTLSglobals) }},
+		{"pipglobals", func() core.Method { return core.New(core.KindPIPglobals) }},
+		{"fsglobals", func() core.Method { return core.New(core.KindFSglobals) }},
+		{"pieglobals", func() core.Method { return core.New(core.KindPIEglobals) }},
+		{"pieglobals+sharedcode", func() core.Method {
+			return core.NewPIEglobals(core.PIEOptions{ShareCodePages: true})
+		}},
 	}
-	var rows []MemoryRow
-	for _, v := range variants {
-		prog := &ampi.Program{Image: img, Main: func(r *ampi.Rank) {}}
-		w, err := runWorld(ampi.Config{
-			Machine: machineShape(1, 1, 1),
-			VPs:     1,
-			Method:  v.method,
-		}, prog)
+	rows := make([]MemoryRow, len(variants))
+	err := o.runner().Run(len(variants), func(i int) error {
+		v := variants[i]
+		img := adcirc.Image()
+		sp := scenario.Spec{
+			Machine:    machineShape(1, 1, 1),
+			VPs:        1,
+			MethodImpl: v.method(),
+			Program:    &ampi.Program{Image: img, Main: func(r *ampi.Rank) {}},
+		}
+		w, err := sp.Run()
 		if err != nil {
-			return nil, nil, fmt.Errorf("memory %s: %w", v.name, err)
+			return fmt.Errorf("memory %s: %w", v.name, err)
 		}
 		ctx := w.Ranks[0].Ctx()
 		var bytes uint64
@@ -70,7 +77,11 @@ func MemoryFootprint() ([]MemoryRow, *trace.Table, error) {
 				bytes += h.Inst.Img.TotalSegmentBytes()
 			}
 		}
-		rows = append(rows, MemoryRow{Method: v.name, PerRankBytes: bytes})
+		rows[i] = MemoryRow{Method: v.name, PerRankBytes: bytes}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	t := trace.NewTable("Memory: per-rank privatization footprint, ADCIRC-sized image (16 MiB segments)",
 		"Method", "Per-rank bytes")

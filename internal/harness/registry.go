@@ -1,0 +1,246 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"provirt/internal/sim"
+	"provirt/internal/trace"
+	"provirt/internal/workloads/adcirc"
+)
+
+// RunOpts is everything a registry experiment can consume: the
+// cross-cutting Opts plus the per-experiment parameters launchers
+// expose as flags. Zero-valued parameters select each experiment's
+// defaults, so RunOpts{} runs every experiment as `-experiment=all`
+// does.
+type RunOpts struct {
+	Opts
+	// Nodes is fig5's node count (<= 0 selects 1).
+	Nodes int
+	// NodeCounts is fig5scale's sweep (nil selects 1,2,4,8).
+	NodeCounts []int
+	// Cores is table2/fig9's core-count sweep (nil selects
+	// Table2Cores).
+	Cores []int
+	// MTBFs is ftsweep's MTBF list (nil selects FTSweepMTBFs).
+	MTBFs []sim.Time
+	// Adcirc sizes the table2/fig9 workload (zero selects
+	// adcirc.DefaultConfig).
+	Adcirc adcirc.Config
+}
+
+func (r RunOpts) nodes() int {
+	if r.Nodes <= 0 {
+		return 1
+	}
+	return r.Nodes
+}
+
+func (r RunOpts) nodeCounts() []int {
+	if r.NodeCounts == nil {
+		return []int{1, 2, 4, 8}
+	}
+	return r.NodeCounts
+}
+
+func (r RunOpts) adcirc() adcirc.Config {
+	if r.Adcirc == (adcirc.Config{}) {
+		return adcirc.DefaultConfig()
+	}
+	return r.Adcirc
+}
+
+// Result is what a registry experiment produced: the structured rows
+// (experiment-specific slice type; nil for the static tables) and the
+// formatted tables a launcher prints in order.
+type Result struct {
+	Rows   any
+	Tables []*trace.Table
+}
+
+// Experiment is one registry entry: a named, self-describing wrapper
+// around a harness experiment.
+type Experiment struct {
+	// Name is the canonical `-experiment=` value; Aliases are accepted
+	// equivalents (fig9 for table2).
+	Name    string
+	Aliases []string
+	// Description is the one-line summary `-experiment=list` prints.
+	Description string
+	// Flags names the launcher flags the experiment consumes beyond
+	// the cross-cutting ones (parallelism, tracing, profiles).
+	Flags []string
+	// Traceable reports whether the experiment honors Opts.Trace;
+	// TraceKeys names the TraceSel fields that select a sweep point.
+	Traceable bool
+	TraceKeys []string
+	// Run executes the experiment.
+	Run func(RunOpts) (Result, error)
+}
+
+// registry holds every experiment in `-experiment=all` execution
+// order.
+var registry = []Experiment{
+	{
+		Name:        "tables",
+		Description: "Tables 1 & 3: privatization method feature matrices",
+		Run: func(RunOpts) (Result, error) {
+			return Result{Tables: []*trace.Table{Table1(), Table3()}}, nil
+		},
+	},
+	{
+		Name:        "fig5",
+		Description: "Fig. 5: startup time per privatization method at one node count",
+		Flags:       []string{"nodes"},
+		Traceable:   true,
+		TraceKeys:   []string{"method", "nodes"},
+		Run: func(r RunOpts) (Result, error) {
+			rows, tbl, err := Fig5Startup(r.Opts, r.nodes())
+			return Result{Rows: rows, Tables: []*trace.Table{tbl}}, err
+		},
+	},
+	{
+		Name:        "fig5scale",
+		Description: "Fig. 5 scaling: startup time across node counts",
+		Traceable:   true,
+		TraceKeys:   []string{"method", "nodes"},
+		Run: func(r RunOpts) (Result, error) {
+			tbl, err := Fig5Scaling(r.Opts, r.nodeCounts())
+			return Result{Tables: []*trace.Table{tbl}}, err
+		},
+	},
+	{
+		Name:        "fig6",
+		Description: "Fig. 6: context-switch overhead per privatization method",
+		Traceable:   true,
+		TraceKeys:   []string{"method"},
+		Run: func(r RunOpts) (Result, error) {
+			rows, tbl, err := Fig6ContextSwitch(r.Opts)
+			return Result{Rows: rows, Tables: []*trace.Table{tbl}}, err
+		},
+	},
+	{
+		Name:        "fig7",
+		Description: "Fig. 7: privatized-variable access overhead (Jacobi-3D)",
+		Traceable:   true,
+		TraceKeys:   []string{"method"},
+		Run: func(r RunOpts) (Result, error) {
+			rows, tbl, err := Fig7JacobiAccess(r.Opts)
+			return Result{Rows: rows, Tables: []*trace.Table{tbl}}, err
+		},
+	},
+	{
+		Name:        "fig8",
+		Description: "Fig. 8: migration time vs per-rank heap size",
+		Traceable:   true,
+		TraceKeys:   []string{"method", "heap"},
+		Run: func(r RunOpts) (Result, error) {
+			rows, tbl, err := Fig8Migration(r.Opts)
+			return Result{Rows: rows, Tables: []*trace.Table{tbl}}, err
+		},
+	},
+	{
+		Name:        "icache",
+		Description: "§4.5: L1 instruction-cache misses, TLSglobals vs PIEglobals",
+		Run: func(RunOpts) (Result, error) {
+			rows, tbl := ICacheExperiment()
+			return Result{Rows: rows, Tables: []*trace.Table{tbl}}, nil
+		},
+	},
+	{
+		Name:        "memory",
+		Description: "§6: per-rank privatization memory footprint (ADCIRC image)",
+		Run: func(r RunOpts) (Result, error) {
+			rows, tbl, err := MemoryFootprint(r.Opts)
+			return Result{Rows: rows, Tables: []*trace.Table{tbl}}, err
+		},
+	},
+	{
+		Name:        "ftsweep",
+		Description: "Fault tolerance: supervised time-to-solution vs MTBF",
+		Flags:       []string{"mtbf"},
+		Traceable:   true,
+		TraceKeys:   []string{"method", "mtbf", "target"},
+		Run: func(r RunOpts) (Result, error) {
+			rows, tbl, err := FTSweep(r.Opts, r.MTBFs)
+			return Result{Rows: rows, Tables: []*trace.Table{tbl}}, err
+		},
+	},
+	{
+		Name:        "table2",
+		Aliases:     []string{"fig9"},
+		Description: "Table 2 & Fig. 9: ADCIRC strong scaling, virtualization x load balancing",
+		Flags:       []string{"cores"},
+		Traceable:   true,
+		TraceKeys:   []string{"cores", "ratio"},
+		Run: func(r RunOpts) (Result, error) {
+			rows, t2, f9, err := AdcircScaling(r.Opts, r.adcirc(), r.Cores)
+			return Result{Rows: rows, Tables: []*trace.Table{t2, f9}}, err
+		},
+	},
+}
+
+// Experiments returns every registry entry in `-experiment=all`
+// execution order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// LookupExperiment resolves a name or alias to its entry.
+func LookupExperiment(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+		for _, a := range e.Aliases {
+			if a == name {
+				return e, true
+			}
+		}
+	}
+	return Experiment{}, false
+}
+
+// ExperimentNames returns every canonical name plus aliases, sorted,
+// for flag help and error messages.
+func ExperimentNames() []string {
+	var names []string
+	for _, e := range registry {
+		names = append(names, e.Name)
+		names = append(names, e.Aliases...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TraceableNames returns the names (and aliases) of experiments that
+// honor a trace selection, sorted.
+func TraceableNames() []string {
+	var names []string
+	for _, e := range registry {
+		if !e.Traceable {
+			continue
+		}
+		names = append(names, e.Name)
+		names = append(names, e.Aliases...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// init sanity-checks the registry: duplicate names or aliases are a
+// programming error worth failing fast on.
+func init() {
+	seen := map[string]bool{}
+	for _, e := range registry {
+		for _, n := range append([]string{e.Name}, e.Aliases...) {
+			if seen[n] {
+				panic(fmt.Sprintf("harness: duplicate experiment name %q", n))
+			}
+			seen[n] = true
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"provirt/internal/harness"
+	"provirt/internal/sim"
+	"provirt/internal/workloads/adcirc"
+)
+
+// tinyRunOpts shrinks every parameterized experiment to smoke-test
+// scale while exercising its full code path.
+func tinyRunOpts(par int) harness.RunOpts {
+	cfg := adcirc.DefaultConfig()
+	cfg.Width, cfg.Height, cfg.Steps, cfg.LBPeriod = 96, 128, 8, 4
+	return harness.RunOpts{
+		Opts:       harness.Opts{Parallelism: par},
+		Nodes:      1,
+		NodeCounts: []int{1, 2},
+		Cores:      []int{1, 2},
+		MTBFs:      []sim.Time{120 * time.Millisecond, 960 * time.Millisecond},
+		Adcirc:     cfg,
+	}
+}
+
+// TestRegistryGoldenSmoke runs every registered experiment at tiny
+// scale and pins the engine-wide determinism contract at the registry
+// boundary: every entry renders non-empty tables, and the rendered
+// bytes are identical between a serial and a parallel sweep.
+func TestRegistryGoldenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	for _, e := range harness.Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			render := func(par int) string {
+				res, err := e.Run(tinyRunOpts(par))
+				if err != nil {
+					t.Fatalf("%s: %v", e.Name, err)
+				}
+				var sb strings.Builder
+				for _, tbl := range res.Tables {
+					sb.WriteString(tbl.String())
+					sb.WriteByte('\n')
+				}
+				return sb.String()
+			}
+			serial := render(1)
+			if strings.TrimSpace(serial) == "" {
+				t.Fatalf("%s rendered no table text", e.Name)
+			}
+			parallel := render(4)
+			if serial != parallel {
+				t.Errorf("%s output diverges between serial and parallel sweeps:\nserial:\n%s\nparallel:\n%s",
+					e.Name, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestRegistryLookup pins the registry's shape: canonical names
+// resolve, aliases resolve to the same entry, unknown names miss, and
+// the enumeration order is the `-experiment=all` execution order.
+func TestRegistryLookup(t *testing.T) {
+	wantOrder := []string{
+		"tables", "fig5", "fig5scale", "fig6", "fig7", "fig8",
+		"icache", "memory", "ftsweep", "table2",
+	}
+	exps := harness.Experiments()
+	if len(exps) != len(wantOrder) {
+		t.Fatalf("%d experiments registered, want %d", len(exps), len(wantOrder))
+	}
+	for i, e := range exps {
+		if e.Name != wantOrder[i] {
+			t.Errorf("experiment %d is %q, want %q", i, e.Name, wantOrder[i])
+		}
+		if e.Description == "" {
+			t.Errorf("%s has no description", e.Name)
+		}
+		if e.Traceable && len(e.TraceKeys) == 0 {
+			t.Errorf("%s is traceable but names no trace keys", e.Name)
+		}
+		got, ok := harness.LookupExperiment(e.Name)
+		if !ok || got.Name != e.Name {
+			t.Errorf("LookupExperiment(%q) failed", e.Name)
+		}
+	}
+	if e, ok := harness.LookupExperiment("fig9"); !ok || e.Name != "table2" {
+		t.Error("alias fig9 should resolve to table2")
+	}
+	if _, ok := harness.LookupExperiment("fig99"); ok {
+		t.Error("unknown experiment resolved")
+	}
+	names := harness.ExperimentNames()
+	if len(names) != len(wantOrder)+1 { // +1 for the fig9 alias
+		t.Errorf("ExperimentNames has %d entries: %v", len(names), names)
+	}
+}

@@ -17,17 +17,11 @@ import (
 // the recorded event stream is byte-identical at any sweep
 // parallelism. These tests pin both contracts for Fig. 5 and Fig. 8.
 
-// withTraceSel installs a recorder for one sweep point and restores the
-// previous (normally nil) selection afterwards.
-func withTraceSel(t *testing.T, sel harness.TraceSel, f func()) *trace.Recorder {
-	t.Helper()
+// tracing returns Opts carrying a fresh recorder for one sweep point.
+func tracing(par int, sel harness.TraceSel) (harness.Opts, *trace.Recorder) {
 	rec := trace.NewRecorder()
 	sel.Rec = rec
-	old := harness.TraceSelection
-	harness.TraceSelection = &sel
-	defer func() { harness.TraceSelection = old }()
-	f()
-	return rec
+	return harness.Opts{Parallelism: par, Trace: &sel}, rec
 }
 
 func jsonl(t *testing.T, rec *trace.Recorder) []byte {
@@ -40,18 +34,16 @@ func jsonl(t *testing.T, rec *trace.Recorder) []byte {
 }
 
 func TestFig5TracedRunMatchesUntraced(t *testing.T) {
-	run := func() (string, string) {
-		rows, tbl, err := harness.Fig5Startup(2)
+	run := func(o harness.Opts) (string, string) {
+		rows, tbl, err := harness.Fig5Startup(o, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return fmt.Sprintf("%#v", rows), tbl.String()
 	}
-	plainRows, plainTbl := run()
-	var tracedRows, tracedTbl string
-	rec := withTraceSel(t, harness.TraceSel{Method: core.KindPIEglobals, Nodes: 2}, func() {
-		tracedRows, tracedTbl = run()
-	})
+	plainRows, plainTbl := run(harness.Opts{})
+	o, rec := tracing(0, harness.TraceSel{Method: core.KindPIEglobals, Nodes: 2})
+	tracedRows, tracedTbl := run(o)
 	if rec.Len() == 0 {
 		t.Fatal("trace selection matched no fig5 run")
 	}
@@ -64,18 +56,16 @@ func TestFig5TracedRunMatchesUntraced(t *testing.T) {
 }
 
 func TestFig8TracedRunMatchesUntraced(t *testing.T) {
-	run := func() (string, string) {
-		rows, tbl, err := harness.Fig8Migration()
+	run := func(o harness.Opts) (string, string) {
+		rows, tbl, err := harness.Fig8Migration(o)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return fmt.Sprintf("%#v", rows), tbl.String()
 	}
-	plainRows, plainTbl := run()
-	var tracedRows, tracedTbl string
-	rec := withTraceSel(t, harness.TraceSel{Method: core.KindTLSglobals, Heap: 4 << 20}, func() {
-		tracedRows, tracedTbl = run()
-	})
+	plainRows, plainTbl := run(harness.Opts{})
+	o, rec := tracing(0, harness.TraceSel{Method: core.KindTLSglobals, Heap: 4 << 20})
+	tracedRows, tracedTbl := run(o)
 	if rec.Len() == 0 {
 		t.Fatal("trace selection matched no fig8 run")
 	}
@@ -89,14 +79,10 @@ func TestFig8TracedRunMatchesUntraced(t *testing.T) {
 
 func TestFig5TraceBytesParallelismInvariant(t *testing.T) {
 	capture := func(par int) []byte {
-		var rec *trace.Recorder
-		withParallelism(t, par, func() {
-			rec = withTraceSel(t, harness.TraceSel{Method: core.KindPIEglobals, Nodes: 2}, func() {
-				if _, _, err := harness.Fig5Startup(2); err != nil {
-					t.Fatal(err)
-				}
-			})
-		})
+		o, rec := tracing(par, harness.TraceSel{Method: core.KindPIEglobals, Nodes: 2})
+		if _, _, err := harness.Fig5Startup(o, 2); err != nil {
+			t.Fatal(err)
+		}
 		if rec.Len() == 0 {
 			t.Fatalf("no events recorded at parallelism %d", par)
 		}
@@ -112,14 +98,10 @@ func TestFig5TraceBytesParallelismInvariant(t *testing.T) {
 
 func TestFig8TraceBytesParallelismInvariant(t *testing.T) {
 	capture := func(par int) []byte {
-		var rec *trace.Recorder
-		withParallelism(t, par, func() {
-			rec = withTraceSel(t, harness.TraceSel{Method: core.KindPIEglobals, Heap: 1 << 20}, func() {
-				if _, _, err := harness.Fig8Migration(); err != nil {
-					t.Fatal(err)
-				}
-			})
-		})
+		o, rec := tracing(par, harness.TraceSel{Method: core.KindPIEglobals, Heap: 1 << 20})
+		if _, _, err := harness.Fig8Migration(o); err != nil {
+			t.Fatal(err)
+		}
 		if rec.Len() == 0 {
 			t.Fatalf("no events recorded at parallelism %d", par)
 		}

@@ -1,0 +1,347 @@
+// Package scenario assembles simulated AMPI runs declaratively.
+//
+// The paper's evaluation is a matrix of scenarios — privatization
+// method x workload x machine shape x policy — and every consumer of
+// the runtime (the harness experiments, cmd/privbench, cmd/ampirun,
+// the examples) used to wire its cell of that matrix by hand. A Spec
+// is the single description of one cell: machine shape, virtual
+// ranks, privatization method, toolchain/OS environment, workload,
+// load-balancing strategy, checkpoint policy, and tracer. Validate
+// reports every problem with the description as structured field
+// errors; Config lowers it to the ampi.Config the engine consumes;
+// Build constructs the world (optionally restoring from a
+// checkpoint); Run builds and executes it.
+//
+// Workloads are resolved by name through a registry (see
+// workloads.go), so launchers list and select programs without
+// importing each workload package, and load-balancer strategies parse
+// through ParseBalancer (see balancer.go).
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"provirt/internal/ampi"
+	"provirt/internal/core"
+	"provirt/internal/lb"
+	"provirt/internal/machine"
+	"provirt/internal/trace"
+)
+
+// EnvPolicy selects how a Spec derives its toolchain/OS environment.
+type EnvPolicy int
+
+const (
+	// EnvAdjust (the default) starts from the paper's Bridges-2
+	// environment and adjusts it so the selected method can run, as the
+	// paper's experiments did: PIPglobals beyond 12 ranks per process
+	// gets the patched glibc, Swapglobals gets the old-or-patched
+	// linker, and -fmpc-privatize gets the MPC-patched compiler.
+	// Explicit Tweaks are applied on top.
+	EnvAdjust EnvPolicy = iota
+	// EnvBridges2 uses the stock Bridges-2 environment plus explicit
+	// Tweaks only; a method whose requirements are not met fails
+	// Validate. This is the launcher policy: the user opts into
+	// environment changes by flag.
+	EnvBridges2
+	// EnvExplicit uses the Spec's Toolchain and OS verbatim.
+	EnvExplicit
+)
+
+// EnvTweaks are user-requested deviations from the Bridges-2 base
+// environment (EnvAdjust and EnvBridges2 policies).
+type EnvTweaks struct {
+	// OldOrPatchedLinker pretends ld <= 2.23, enabling Swapglobals.
+	OldOrPatchedLinker bool
+	// PatchedGlibc lifts the dlmopen namespace limit for PIPglobals.
+	PatchedGlibc bool
+	// MPCToolchain uses an MPC-patched compiler, enabling
+	// -fmpc-privatize.
+	MPCToolchain bool
+}
+
+// Spec declares one simulated run.
+type Spec struct {
+	// Machine is the cluster shape (nodes x processes x PEs) plus the
+	// seed and cost model.
+	Machine machine.Config
+	// VPs is the number of virtual ranks (+vp N).
+	VPs int
+	// Method selects the privatization method.
+	Method core.Kind
+	// MethodImpl, if non-nil, overrides Method with a configured
+	// instance (e.g. core.NewPIEglobals with future-work options); its
+	// Kind is used for validation.
+	MethodImpl core.Method
+
+	// EnvPolicy, Tweaks, Toolchain, and OS describe the build/run
+	// environment; see EnvPolicy.
+	EnvPolicy EnvPolicy
+	Tweaks    EnvTweaks
+	Toolchain core.Toolchain
+	OS        core.OS
+
+	// Workload names a registered workload (see Workloads); mutually
+	// exclusive with Program. Exactly one of the two must be set.
+	Workload string
+	// WorkloadParams parameterizes a named workload's constructor.
+	WorkloadParams WorkloadParams
+	// Program is an explicit program for callers that need custom
+	// images, result sinks, or per-rank main functions.
+	Program *ampi.Program
+
+	// Balancer, if set, runs at every AMPI_Migrate collective; Trigger
+	// optionally gates it.
+	Balancer lb.Strategy
+	Trigger  lb.Trigger
+	// Checkpoint, if set, is the policy Rank.CheckpointIfDue consults.
+	Checkpoint *ampi.CheckpointPolicy
+	// Restart, if set, restores every rank from the snapshot before
+	// its thread first runs (stop/restart and recovery scenarios).
+	Restart *ampi.Checkpoint
+	// Placement overrides the default block mapping of VPs onto PEs.
+	Placement []int
+	// StackSize overrides the default 1 MiB per-rank ULT stack.
+	StackSize uint64
+	// Tracer, if set, receives virtual-time events from every layer.
+	Tracer trace.Tracer
+}
+
+// FieldError is one problem with a Spec, tied to the field that
+// caused it.
+type FieldError struct {
+	Field string
+	Msg   string
+}
+
+func (e FieldError) Error() string { return fmt.Sprintf("%s: %s", e.Field, e.Msg) }
+
+// ValidationError aggregates every FieldError found in one Validate
+// pass, so a caller can report all problems at once.
+type ValidationError struct {
+	Errs []FieldError
+}
+
+func (e *ValidationError) Error() string {
+	msgs := make([]string, len(e.Errs))
+	for i, fe := range e.Errs {
+		msgs[i] = fe.Error()
+	}
+	return "scenario: invalid spec: " + strings.Join(msgs, "; ")
+}
+
+// capabilities returns the effective method's Table 3 row.
+func (s *Spec) capabilities() core.Capabilities {
+	if s.MethodImpl != nil {
+		return s.MethodImpl.Capabilities()
+	}
+	return core.CapabilitiesOf(s.Method)
+}
+
+// kind returns the effective method kind.
+func (s *Spec) kind() core.Kind {
+	if s.MethodImpl != nil {
+		return s.MethodImpl.Kind()
+	}
+	return s.Method
+}
+
+// ranksPerProc returns the worst-case virtual ranks per OS process
+// under the default block placement (used for the PIPglobals namespace
+// limit).
+func (s *Spec) ranksPerProc() int {
+	procs := s.Machine.Nodes * s.Machine.ProcsPerNode
+	if procs <= 0 {
+		return s.VPs
+	}
+	return (s.VPs + procs - 1) / procs
+}
+
+// env resolves the toolchain/OS pair the run executes under.
+func (s *Spec) env() (core.Toolchain, core.OS) {
+	if s.EnvPolicy == EnvExplicit {
+		return s.Toolchain, s.OS
+	}
+	tc, osEnv := core.Bridges2Env()
+	if s.Tweaks.OldOrPatchedLinker {
+		osEnv.OldOrPatchedLinker = true
+	}
+	if s.Tweaks.PatchedGlibc {
+		osEnv.PatchedGlibc = true
+	}
+	if s.Tweaks.MPCToolchain {
+		tc.MPCPatched = true
+	}
+	if s.EnvPolicy == EnvAdjust {
+		switch s.kind() {
+		case core.KindPIPglobals:
+			if s.ranksPerProc() > 12 {
+				osEnv.PatchedGlibc = true
+			}
+		case core.KindSwapglobals:
+			osEnv.OldOrPatchedLinker = true
+		case core.KindMPCPrivatize:
+			tc.MPCPatched = true
+		}
+	}
+	return tc, osEnv
+}
+
+// Validate checks the Spec as a whole and returns a *ValidationError
+// carrying one FieldError per problem, or nil.
+func (s *Spec) Validate() error {
+	var errs []FieldError
+	add := func(field, format string, args ...any) {
+		errs = append(errs, FieldError{Field: field, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if err := s.Machine.Validate(); err != nil {
+		add("Machine", "%v", err)
+	}
+	if s.VPs <= 0 {
+		add("VPs", "must be positive, got %d", s.VPs)
+	}
+
+	kind := s.kind()
+	caps := s.capabilities()
+	if caps.DisplayName == "" {
+		add("Method", "unknown privatization method %d", int(kind))
+		caps = core.Capabilities{}
+	}
+
+	// A Spec with neither Workload nor Program is still valid for
+	// Config() — callers like the fault-tolerance supervisor construct
+	// the program per attempt — but Build() requires one of the two.
+	switch {
+	case s.Workload != "" && s.Program != nil:
+		add("Workload", "mutually exclusive with Program; set exactly one")
+	case s.Workload != "":
+		if _, ok := LookupWorkload(s.Workload); !ok {
+			add("Workload", "unknown workload %q (try %s)",
+				s.Workload, strings.Join(WorkloadNames(), ", "))
+		}
+	}
+
+	if s.Balancer != nil && caps.DisplayName != "" && !caps.SupportsMigration {
+		add("Balancer", "method %s does not support migration; a load balancer cannot move its ranks", kind)
+	}
+	if caps.DisplayName != "" && !caps.SupportsSMP && s.Machine.PEsPerProc > 1 {
+		add("Machine", "method %s does not support SMP mode (%d PEs per process)", kind, s.Machine.PEsPerProc)
+	}
+	if s.Placement != nil && len(s.Placement) != s.VPs {
+		add("Placement", "has %d entries, want one per VP (%d)", len(s.Placement), s.VPs)
+	}
+
+	// Environment requirements the resolved env cannot meet. Under
+	// EnvAdjust these are satisfied by construction; under EnvBridges2
+	// and EnvExplicit the combination is a user error worth naming
+	// before the engine rejects it.
+	tc, osEnv := s.env()
+	if caps.DisplayName != "" {
+		switch kind {
+		case core.KindSwapglobals:
+			if !osEnv.OldOrPatchedLinker {
+				add("Method", "swapglobals needs an old or patched linker (ld <= 2.23)")
+			}
+		case core.KindMPCPrivatize:
+			if !tc.MPCPatched {
+				add("Method", "fmpc-privatize needs an MPC-patched compiler")
+			}
+		case core.KindPIPglobals:
+			if !osEnv.PatchedGlibc && s.ranksPerProc() > 12 {
+				add("Method", "pipglobals beyond 12 ranks per process needs the patched glibc (%d ranks/process)", s.ranksPerProc())
+			}
+		case core.KindFSglobals:
+			if !osEnv.SharedFS {
+				add("Method", "fsglobals needs a shared filesystem")
+			}
+		case core.KindTLSglobals:
+			if !tc.SupportsTLSSegRefs {
+				add("Method", "tlsglobals needs -mno-tls-direct-seg-refs compiler support")
+			}
+		}
+	}
+
+	if len(errs) > 0 {
+		return &ValidationError{Errs: errs}
+	}
+	return nil
+}
+
+// Config validates the Spec and lowers it to the engine configuration.
+func (s *Spec) Config() (ampi.Config, error) {
+	if err := s.Validate(); err != nil {
+		return ampi.Config{}, err
+	}
+	tc, osEnv := s.env()
+	return ampi.Config{
+		Machine:    s.Machine,
+		VPs:        s.VPs,
+		Privatize:  s.kind(),
+		Method:     s.MethodImpl,
+		Toolchain:  tc,
+		OS:         osEnv,
+		StackSize:  s.StackSize,
+		Balancer:   s.Balancer,
+		Trigger:    s.Trigger,
+		Checkpoint: s.Checkpoint,
+		Placement:  s.Placement,
+		Tracer:     s.Tracer,
+	}, nil
+}
+
+// Built is a constructed, not-yet-run world.
+type Built struct {
+	World *ampi.World
+	// Report, when the Spec named a registered workload, prints the
+	// workload's collected output; nil for explicit Programs or
+	// workloads with nothing to report.
+	Report func()
+}
+
+// Build validates the Spec, resolves its workload, and constructs the
+// world (from the Restart snapshot when one is set).
+func (s *Spec) Build() (*Built, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	prog := s.Program
+	var report func()
+	if prog == nil {
+		if s.Workload == "" {
+			return nil, &ValidationError{Errs: []FieldError{{
+				Field: "Workload",
+				Msg: fmt.Sprintf("no workload: name one of %s or set Program",
+					strings.Join(WorkloadNames(), ", ")),
+			}}}
+		}
+		wl, _ := LookupWorkload(s.Workload) // existence pinned by Config's Validate
+		p := s.WorkloadParams
+		p.HasLB = s.Balancer != nil
+		prog, report = wl.New(p)
+	}
+	var w *ampi.World
+	if s.Restart != nil {
+		w, err = ampi.NewWorldFromCheckpoint(cfg, prog, s.Restart)
+	} else {
+		w, err = ampi.NewWorld(cfg, prog)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Built{World: w, Report: report}, nil
+}
+
+// Run builds the world and runs it to completion.
+func (s *Spec) Run() (*ampi.World, error) {
+	b, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := b.World.Run(); err != nil {
+		return nil, err
+	}
+	return b.World, nil
+}

@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"provirt/internal/ampi"
+	"provirt/internal/workloads/adcirc"
+	"provirt/internal/workloads/amr"
+	"provirt/internal/workloads/jacobi"
+	"provirt/internal/workloads/synth"
+)
+
+// WorkloadParams parameterizes a registered workload's constructor.
+type WorkloadParams struct {
+	// HasLB reports whether the run has a load balancer; workloads
+	// with a periodic AMPI_Migrate step skip it when nothing would
+	// rebalance. Build sets this from the Spec's Balancer.
+	HasLB bool
+	// Quick selects a reduced problem size for smoke runs.
+	Quick bool
+}
+
+// Workload is a registered program: a name launchers select by, a
+// one-line description, and a constructor returning the program plus
+// an optional report function that prints the collected output after
+// the run.
+type Workload struct {
+	Name        string
+	Description string
+	New         func(p WorkloadParams) (*ampi.Program, func())
+}
+
+var workloadRegistry = map[string]Workload{}
+
+// RegisterWorkload adds a workload to the registry; registering a
+// duplicate name panics (registration is init-time wiring).
+func RegisterWorkload(w Workload) {
+	if w.Name == "" || w.New == nil {
+		panic("scenario: workload needs a name and a constructor")
+	}
+	if _, dup := workloadRegistry[w.Name]; dup {
+		panic(fmt.Sprintf("scenario: workload %q registered twice", w.Name))
+	}
+	workloadRegistry[w.Name] = w
+}
+
+// LookupWorkload finds a registered workload by name.
+func LookupWorkload(name string) (Workload, bool) {
+	w, ok := workloadRegistry[name]
+	return w, ok
+}
+
+// Workloads returns every registered workload sorted by name.
+func Workloads() []Workload {
+	out := make([]Workload, 0, len(workloadRegistry))
+	for _, w := range workloadRegistry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WorkloadNames returns the sorted registered names.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(workloadRegistry))
+	for name := range workloadRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterWorkload(Workload{
+		Name:        "hello",
+		Description: "MPI hello world storing its rank in a privatized global (Fig. 2/3)",
+		New: func(WorkloadParams) (*ampi.Program, func()) {
+			var results []synth.HelloResult
+			prog := synth.Hello(func(hr synth.HelloResult) { results = append(results, hr) })
+			return prog, func() {
+				sort.Slice(results, func(i, j int) bool { return results[i].VP < results[j].VP })
+				for _, hr := range results {
+					fmt.Printf("rank: %d\n", hr.Printed)
+				}
+			}
+		},
+	})
+	RegisterWorkload(Workload{
+		Name:        "ping",
+		Description: "two-ULT context-switch microbenchmark (Fig. 6)",
+		New: func(WorkloadParams) (*ampi.Program, func()) {
+			return synth.Ping(), func() {
+				fmt.Printf("ping: %d context switches between two user-level threads\n", synth.PingCount)
+			}
+		},
+	})
+	RegisterWorkload(Workload{
+		Name:        "empty",
+		Description: "init/finalize only; measures startup (Fig. 5)",
+		New: func(WorkloadParams) (*ampi.Program, func()) {
+			return synth.Empty(), nil
+		},
+	})
+	RegisterWorkload(Workload{
+		Name:        "jacobi",
+		Description: "Jacobi-3D stencil with privatized inner-loop variables (Fig. 7)",
+		New: func(p WorkloadParams) (*ampi.Program, func()) {
+			cfg := jacobi.DefaultConfig()
+			if p.Quick {
+				cfg.NX, cfg.NY, cfg.NZ, cfg.Iters = 12, 12, 12, 4
+			}
+			var results []jacobi.Result
+			prog := jacobi.New(cfg, func(r jacobi.Result) { results = append(results, r) })
+			return prog, func() {
+				var resid float64
+				var accesses uint64
+				for _, r := range results {
+					resid = r.Residual
+					accesses += r.Accesses
+				}
+				fmt.Printf("jacobi3d: %dx%dx%d grid, %d iterations, residual %.6g, %d privatized accesses\n",
+					cfg.NX, cfg.NY, cfg.NZ, cfg.Iters, resid, accesses)
+			}
+		},
+	})
+	RegisterWorkload(Workload{
+		Name:        "adcirc",
+		Description: "ADCIRC storm-surge surrogate with dynamic load imbalance (§4.6)",
+		New: func(p WorkloadParams) (*ampi.Program, func()) {
+			cfg := adcirc.DefaultConfig()
+			if p.Quick {
+				cfg.Width, cfg.Height, cfg.Steps, cfg.LBPeriod = 96, 128, 8, 4
+			}
+			if !p.HasLB {
+				cfg.LBPeriod = 0
+			}
+			var volume uint64
+			prog := adcirc.New(cfg, func(r adcirc.Result) { volume += r.WetCellSteps })
+			return prog, func() {
+				fmt.Printf("adcirc: %dx%d grid, %d steps, total wet-cell updates %d (oracle %d)\n",
+					cfg.Width, cfg.Height, cfg.Steps, volume, adcirc.TotalWetCellSteps(cfg))
+			}
+		},
+	})
+	RegisterWorkload(Workload{
+		Name:        "amr",
+		Description: "block-structured AMR chasing a shock front with regrid LB",
+		New: func(p WorkloadParams) (*ampi.Program, func()) {
+			cfg := amr.DefaultConfig()
+			if p.Quick {
+				cfg.BlocksX, cfg.BlocksY, cfg.Steps, cfg.RegridEvery = 8, 8, 8, 4
+			}
+			if !p.HasLB {
+				cfg.RegridEvery = 0
+			}
+			var updates uint64
+			prog := amr.New(cfg, func(r amr.Result) { updates += r.CellUpdates })
+			return prog, func() {
+				fmt.Printf("amr: %dx%d blocks, %d steps, fine-cell updates %d (oracle %d)\n",
+					cfg.BlocksX, cfg.BlocksY, cfg.Steps, updates, amr.TotalCellUpdates(cfg))
+			}
+		},
+	})
+}
