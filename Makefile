@@ -1,9 +1,9 @@
 GO ?= go
 
 # Which committed benchmark record bench-json refreshes.
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_6.json
 
-.PHONY: all build test bench bench-json race race-full vet examples ci
+.PHONY: all build test bench bench-smoke bench-json race race-full vet examples ci
 
 # Every example binary, smoke-run at reduced problem size.
 EXAMPLES := quickstart jacobi3d adcirc amr migration cloudrestart
@@ -19,6 +19,12 @@ test:
 # Benchmarks for every table/figure plus the engine and MPI hot paths.
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# One iteration of every benchmark, as CI's bench-smoke job runs it: a
+# compile-and-execute check that keeps the bench suite (including the
+# million-VP scale run) from rotting between full bench-json refreshes.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime=1x -benchmem ./...
 
 # Machine-readable benchmark record: name -> ns/op, B/op, allocs/op.
 # Committed so benchmark movement shows up in diffs.
@@ -47,4 +53,4 @@ examples:
 	done
 
 # Everything CI runs, in the same order (see .github/workflows/ci.yml).
-ci: vet build test examples race
+ci: vet build test examples bench-smoke race

@@ -454,6 +454,61 @@ func BenchmarkFutureWorkSharedCode(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Million-VP scale (ROADMAP item 1): flat world, tree-modeled
+// collectives, shared images.
+// ---------------------------------------------------------------------
+
+// BenchmarkScaleMillionVP builds the million-rank flat world and runs
+// the full scale experiment (binomial allreduce, then a migration
+// storm over an eighth of the ranks). ns/op is the wall-clock cost of
+// simulating the whole thing; the metrics carry the reproduced
+// quantities, including the host heap footprint per simulated rank —
+// the number the compact rank-state work exists to shrink.
+func BenchmarkScaleMillionVP(b *testing.B) {
+	var rows []harness.ScaleRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = harness.ScaleExperiment(harness.Opts{}, harness.DefaultScaleVPs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ar, storm := rows[0], rows[1]
+	b.ReportMetric(float64(ar.Time.Microseconds()), "allreduce-vt-us")
+	b.ReportMetric(float64(storm.Time.Microseconds()), "storm-vt-us")
+	b.ReportMetric(float64(storm.Events), "events")
+	b.ReportMetric(float64(storm.Migrations), "migrations")
+	b.ReportMetric(float64(storm.MigratedBytes)/(1<<20), "moved-MiB")
+	b.ReportMetric(float64(ar.PerRankBytes), "model-resident-B/rank")
+	b.ReportMetric(float64(ar.SharedBytesPerRank), "model-shared-B/rank")
+	b.ReportMetric(float64(ar.HostBuildBytesPerRank), "host-build-B/rank")
+	b.ReportMetric(float64(ar.HostPeakBytesPerRank), "host-peak-B/rank")
+	if ar.Events != 2*(harness.DefaultScaleVPs-1) {
+		b.Fatalf("allreduce fired %d events, want %d", ar.Events, 2*(harness.DefaultScaleVPs-1))
+	}
+}
+
+// BenchmarkFlatWorldBuild isolates world construction: ns/op is the
+// cost of standing up a million rank records (privatization sampled,
+// not materialized), the metric its host memory price per rank.
+func BenchmarkFlatWorldBuild(b *testing.B) {
+	const vps = 1 << 20
+	var perRank uint64
+	for i := 0; i < b.N; i++ {
+		w, err := ampi.NewFlatWorld(ampi.FlatConfig{
+			Machine: machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 8},
+			VPs:     vps,
+			Image:   adcirc.Image(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		perRank = w.PerRankBytes
+	}
+	b.ReportMetric(float64(perRank), "model-resident-B/rank")
+}
+
 // BenchmarkAblationJacobiNoHoisting shows Fig. 7's dependence on the
 // compiler-hoisting assumption: with hoisting disabled, TLS-indirect
 // accesses cost extra per touch and the Jacobi gap opens.

@@ -21,13 +21,16 @@ import (
 )
 
 // Result is one benchmark's measurements. BytesPerOp/AllocsPerOp are
-// present only when the run used -benchmem.
+// present only when the run used -benchmem. Metrics collects every
+// custom unit a benchmark reported through b.ReportMetric (e.g.
+// host-bytes/rank from the scale benchmarks), keyed by unit string.
 type Result struct {
-	Iterations  int64    `json:"iterations"`
-	NsPerOp     float64  `json:"ns_per_op"`
-	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
-	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64           `json:"mb_per_sec,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -67,6 +70,15 @@ func parseLine(line string) (string, Result, bool) {
 		case "MB/s":
 			if f, err := strconv.ParseFloat(val, 64); err == nil {
 				r.MBPerSec = &f
+			}
+		default:
+			// A custom b.ReportMetric unit; anything non-numeric is a
+			// stray token from a wrapped line and is skipped.
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = f
 			}
 		}
 	}

@@ -25,6 +25,14 @@ func TestParseLine(t *testing.T) {
 		t.Errorf("parsed %+v", r)
 	}
 
+	name, r, ok = parseLine("BenchmarkScaleAllreduce-8   	       1	 812345678 ns/op	        42.50 host-B/rank	   1048576 model-B/rank")
+	if !ok || name != "ScaleAllreduce" {
+		t.Fatalf("metric line: ok=%v name=%q", ok, name)
+	}
+	if r.Metrics["host-B/rank"] != 42.5 || r.Metrics["model-B/rank"] != 1048576 {
+		t.Errorf("custom metrics not parsed: %+v", r.Metrics)
+	}
+
 	for _, line := range []string{
 		"goos: linux",
 		"PASS",

@@ -20,6 +20,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +36,8 @@ func main() {
 	experiment := flag.String("experiment", "all",
 		"which experiment to run: all, list, or one of "+strings.Join(harness.ExperimentNames(), ", "))
 	nodes := flag.Int("nodes", 1, "node count for fig5")
+	vps := flag.Int("vps", 0,
+		"virtual rank count for the scale experiment (0 selects the default one million)")
 	coresFlag := flag.String("cores", "1,2,4,8,16,32,64", "core counts for table2/fig9")
 	mtbfFlag := flag.String("mtbf", "",
 		"comma-separated MTBF durations for ftsweep (e.g. 120ms,480ms); empty uses the default list")
@@ -47,6 +50,8 @@ func main() {
 			strings.Join(harness.TraceableNames(), ", ")+")")
 	traceFormat := flag.String("trace-format", "jsonl",
 		"trace file format: jsonl (one event per line) or chrome (Perfetto-loadable trace-event JSON)")
+	traceWindow := flag.Int("trace-window", 0,
+		"stream the trace to -trace in bounded windows of this many events instead of buffering it whole (jsonl only; required at million-rank scale)")
 	traceMethod := flag.String("trace-method", "pieglobals",
 		"privatization method of the sweep point to trace (fig5/fig6/fig7/fig8/ftsweep)")
 	traceHeap := flag.Uint64("trace-heap", 1<<20,
@@ -129,6 +134,8 @@ func main() {
 	// any (possibly parallel) sweep starts.
 	var rec *trace.Recorder
 	var sel *harness.TraceSel
+	var windowed *trace.WindowWriter
+	var windowFile *os.File
 	if *traceFile != "" || *profileRanks {
 		if len(selected) != 1 || !selected[0].Traceable {
 			fmt.Fprintf(os.Stderr, "privbench: -trace/-profile-ranks need -experiment to be one of %s (got %q)\n",
@@ -149,7 +156,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "privbench: -trace-target: %v\n", err)
 			os.Exit(2)
 		}
-		rec = trace.NewRecorder()
+		scaleVPs := *vps
+		if scaleVPs <= 0 {
+			scaleVPs = harness.DefaultScaleVPs
+		}
 		sel = &harness.TraceSel{
 			Method: kind,
 			Nodes:  *nodes,
@@ -158,15 +168,35 @@ func main() {
 			Ratio:  *traceRatio,
 			MTBF:   sim.Time(*traceMTBF),
 			Target: target,
-			Rec:    rec,
+			VPs:    scaleVPs,
+		}
+		if *traceWindow > 0 {
+			// Windowed tracing streams events to disk as they fire, so a
+			// million-rank trace never lives in host memory — but that
+			// rules out post-hoc consumers of the full event slice.
+			if *traceFile == "" || *traceFormat != "jsonl" || *profileRanks {
+				fmt.Fprintf(os.Stderr, "privbench: -trace-window needs -trace with -trace-format=jsonl and no -profile-ranks\n")
+				os.Exit(2)
+			}
+			windowFile, err = os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "privbench: -trace: %v\n", err)
+				os.Exit(2)
+			}
+			windowed = trace.NewWindowWriter(windowFile, *traceWindow)
+			sel.Sink = windowed
+		} else {
+			rec = trace.NewRecorder()
+			sel.Rec = rec
 		}
 	}
 
 	ropts := harness.RunOpts{
-		Opts:  harness.Opts{Parallelism: *parallel, Trace: sel},
-		Nodes: *nodes,
-		Cores: cores,
-		MTBFs: mtbfs,
+		Opts:     harness.Opts{Parallelism: *parallel, Trace: sel},
+		Nodes:    *nodes,
+		Cores:    cores,
+		MTBFs:    mtbfs,
+		ScaleVPs: *vps,
 	}
 	for _, e := range selected {
 		res, err := e.Run(ropts)
@@ -179,6 +209,21 @@ func main() {
 		}
 	}
 
+	if windowed != nil {
+		err := windowed.Close()
+		if cerr := windowFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "privbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		if windowed.Emitted() == 0 {
+			fmt.Fprintf(os.Stderr, "privbench: trace selection matched no run (check the experiment's trace keys against its sweep)\n")
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events -> %s (jsonl, windowed)\n", windowed.Emitted(), *traceFile)
+	}
 	if rec != nil {
 		if rec.Len() == 0 {
 			fmt.Fprintf(os.Stderr, "privbench: trace selection matched no run (check -trace-method/-nodes/-trace-heap/-trace-cores/-trace-ratio against the experiment's sweep)\n")
@@ -201,10 +246,13 @@ func main() {
 }
 
 // listExperiments prints the registry: one line per experiment with
-// its aliases, the extra flags it reads, and its trace keys.
+// its aliases, the extra flags it reads, and its trace keys. Output is
+// sorted by name so it never leaks registry iteration order.
 func listExperiments() {
-	fmt.Println("experiments (run with -experiment=NAME; all runs every one in this order):")
-	for _, e := range harness.Experiments() {
+	exps := harness.Experiments()
+	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
+	fmt.Println("experiments (run with -experiment=NAME; -experiment=all runs every one in registry order):")
+	for _, e := range exps {
 		name := e.Name
 		if len(e.Aliases) > 0 {
 			name += " (alias " + strings.Join(e.Aliases, ", ") + ")"

@@ -22,25 +22,6 @@ func (r *Rank) worldComm() *Comm {
 	return r.world0
 }
 
-// binomialParentChildren computes the rank's parent and children in a
-// binomial tree over size entries rooted at relative rank 0.
-func binomialParentChildren(rel, size int) (parent int, children []int) {
-	parent = -1
-	limit := size // rel == 0: any power of two below size
-	if rel != 0 {
-		lsb := rel & -rel
-		parent = rel - lsb
-		limit = lsb
-	}
-	for m := 1; m < limit && rel+m < size; m <<= 1 {
-		children = append(children, rel+m)
-	}
-	return parent, children
-}
-
-// abs translates a relative tree rank back to an absolute rank.
-func abs(rel, root, size int) int { return (rel + root) % size }
-
 // collBegin snapshots the start of a rank-level collective for the
 // tracer; on is false (and the snapshot free) when tracing is off.
 func (r *Rank) collBegin() (start sim.Time, on bool) {

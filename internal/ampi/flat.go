@@ -1,0 +1,340 @@
+package ampi
+
+import (
+	"errors"
+	"fmt"
+
+	"provirt/internal/core"
+	"provirt/internal/elf"
+	"provirt/internal/loader"
+	"provirt/internal/machine"
+	"provirt/internal/sim"
+	"provirt/internal/trace"
+)
+
+// FlatWorld is the million-VP scale path: a world whose ranks are bare
+// array-of-structs records instead of user-level threads, and whose
+// collectives are modeled directly on the event engine as binomial-tree
+// waves — one engine event per tree edge, O(ranks) events total, no
+// goroutine, stack, heap, or matchqueue per rank. The tree shape, cost
+// model, and network tiers are exactly the ones the full World charges
+// through its message-level path (tree.go, machine.Cluster), so flat
+// results are the same physics at a scale the per-rank machinery cannot
+// reach: ~32 bytes of runtime state per rank instead of a Thread +
+// Rank + stack block each.
+//
+// Privatization cost and footprint are modeled by measurement plus
+// extrapolation: Setup runs for two sample ranks, and the per-rank
+// slope of setup time and resident bytes scales to the full world.
+// This is the standard laptop-class answer to "what would a million
+// ranks cost": the per-rank state is identical by construction (ranks
+// are symmetric), so the slope is exact, not an estimate.
+type FlatWorld struct {
+	Cfg     FlatConfig
+	Cluster *machine.Cluster
+
+	ranks []flatRank
+	pes   []*machine.PE
+
+	// SetupDone is the modeled privatization-setup completion time for
+	// the slowest process (extrapolated from the sampled ranks).
+	SetupDone sim.Time
+	// PerRankBytes is one rank's measured resident footprint: heap
+	// resident bytes (stack, private data delta) as Setup produced them.
+	PerRankBytes uint64
+	// SharedBytesPerRank is one rank's bytes that stay on shared
+	// read-only mappings (code pages, RO data under COW) — virtual
+	// address space that costs no physical memory per rank.
+	SharedBytesPerRank uint64
+
+	// Migrations / MigratedBytes count completed storm migrations.
+	Migrations    int
+	MigratedBytes uint64
+
+	maxClock  sim.Time
+	doneRanks int
+	pendingOp int // outstanding modeled operations (edges/migrations in flight)
+	// collBytes is the running collective's per-edge payload, threaded
+	// to the event callbacks without per-event state.
+	collBytes uint64
+
+	// Cached bound-method values so hot-path scheduling via AtCall
+	// allocates neither closures nor nodes.
+	reduceFn  func(any)
+	bcastFn   func(any)
+	migrateFn func(any)
+
+	tracer trace.Tracer
+}
+
+// flatRank is one virtual rank's complete runtime state on the flat
+// path. Kept deliberately small (geometry, wave state, clock — 24
+// bytes): a million of them is one 24 MB slab.
+type flatRank struct {
+	vp      int32
+	pe      int32
+	parent  int32 // absolute parent rank in the tree rooted at 0; -1 at root
+	pending int32 // reduce-wave children still outstanding
+	clock   sim.Time
+}
+
+// FlatConfig describes a flat-path run.
+type FlatConfig struct {
+	Machine machine.Config
+	// VPs is the number of virtual ranks.
+	VPs int
+	// Image is the program image privatization setup is sampled on.
+	Image *elf.Image
+	// Method is the privatization method; nil selects PIEglobals with
+	// code-page sharing and read-only-data COW — the configuration the
+	// scale experiment exists to demonstrate.
+	Method core.Method
+	// Toolchain and OS as in Config; zero values select Bridges-2.
+	Toolchain core.Toolchain
+	OS        core.OS
+	// Tracer receives engine, link, and setup events. At this scale it
+	// should be a windowed writer (trace.NewWindowWriter), not an
+	// in-memory recorder.
+	Tracer trace.Tracer
+}
+
+// NewFlatWorld builds the cluster, samples privatization setup on two
+// representative ranks to calibrate the per-rank slopes, and lays out
+// the flat rank table.
+func NewFlatWorld(cfg FlatConfig) (*FlatWorld, error) {
+	if cfg.VPs <= 0 {
+		return nil, fmt.Errorf("ampi: flat world needs positive VPs, got %d", cfg.VPs)
+	}
+	if cfg.Image == nil {
+		return nil, errors.New("ampi: flat world needs a program image")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Toolchain == (core.Toolchain{}) && !osSet(cfg.OS) {
+		cfg.Toolchain, cfg.OS = core.Bridges2Env()
+	}
+	cl, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	method := cfg.Method
+	if method == nil {
+		method = core.NewPIEglobals(core.PIEOptions{ShareCodePages: true, ShareROData: true})
+	}
+	w := &FlatWorld{Cfg: cfg, Cluster: cl, pes: cl.PEs(), tracer: cfg.Tracer}
+	w.reduceFn = w.reduceArrive
+	w.bcastFn = w.bcastArrive
+	w.migrateFn = w.migrateArrive
+	if w.tracer != nil {
+		cl.SetTracer(w.tracer)
+	}
+
+	// Calibrate: run real privatization setup for one and for two ranks
+	// in the first process, on throwaway linkers so the samples don't
+	// interact. Ranks are symmetric, so the second rank's increments are
+	// the exact per-rank slopes.
+	proc := cl.Processes()[0]
+	sample := func(vps []int) (*core.SetupResult, error) {
+		env := &core.ProcessEnv{
+			Proc:      proc,
+			Cost:      cl.Cost,
+			Linker:    loader.New(proc, cl.Cost),
+			FS:        cl.FS,
+			Toolchain: cfg.Toolchain,
+			OS:        cfg.OS,
+			SMP:       cfg.Machine.SMPMode(),
+		}
+		if err := method.CheckEnv(env); err != nil {
+			return nil, err
+		}
+		return method.Setup(env, cfg.Image, vps, 0)
+	}
+	one, err := sample([]int{0})
+	if err != nil {
+		return nil, err
+	}
+	two, err := sample([]int{0, 1})
+	if err != nil {
+		return nil, err
+	}
+	perRankTime := two.Done - one.Done
+	if perRankTime < 0 {
+		perRankTime = 0
+	}
+	ranksPerProc := (cfg.VPs + len(cl.Processes()) - 1) / len(cl.Processes())
+	w.SetupDone = one.Done + sim.Time(ranksPerProc-1)*perRankTime
+	ctx := two.Contexts[1]
+	w.PerRankBytes = ctx.Heap.ResidentBytes()
+	w.SharedBytesPerRank = ctx.Heap.SharedSpanBytes()
+	if w.tracer != nil {
+		w.tracer.Emit(trace.Event{Time: 0, Dur: w.SetupDone, Kind: trace.KindSetup,
+			PE: 0, VP: -1, Peer: -1})
+	}
+
+	// The rank table: block placement, binomial-tree geometry rooted at
+	// rank 0, clocks starting when setup completes.
+	w.ranks = make([]flatRank, cfg.VPs)
+	npes := len(w.pes)
+	for vp := range w.ranks {
+		parent, _ := binomialNode(vp, cfg.VPs)
+		w.ranks[vp] = flatRank{
+			vp:      int32(vp),
+			pe:      int32(vp * npes / cfg.VPs),
+			parent:  int32(parent),
+			pending: int32(binomialChildCount(vp, cfg.VPs)),
+			clock:   w.SetupDone,
+		}
+	}
+	w.maxClock = w.SetupDone
+	// Steady state keeps at most one event in flight per tree level
+	// fan-in plus the leaf wave; reserving the leaf count covers the
+	// worst instantaneous backlog without mid-run growth.
+	cl.Engine.Reserve((cfg.VPs + 1) / 2)
+	return w, nil
+}
+
+// VPs reports the number of virtual ranks.
+func (w *FlatWorld) VPs() int { return len(w.ranks) }
+
+// Time reports the maximum rank clock — the job's elapsed virtual time.
+func (w *FlatWorld) Time() sim.Time { return w.maxClock }
+
+// EventsFired reports engine events processed so far.
+func (w *FlatWorld) EventsFired() uint64 { return w.Cluster.Engine.EventsFired() }
+
+// advance folds a rank-local completion time into the world clock.
+func (w *FlatWorld) advance(t sim.Time) {
+	if t > w.maxClock {
+		w.maxClock = t
+	}
+}
+
+// Allreduce models one allreduce of bytes per tree edge across every
+// rank: a reduce wave up the binomial tree followed by a broadcast wave
+// down it. One engine event per edge per wave — 2(N-1) events total.
+// It drives the engine to completion and returns the virtual time at
+// which the last rank finished.
+func (w *FlatWorld) Allreduce(bytes uint64) (sim.Time, error) {
+	w.doneRanks = 0
+	w.collBytes = bytes
+	// Leaves complete their (empty) reduce subtree immediately; interior
+	// ranks complete as arrivals drain their pending count.
+	for vp := range w.ranks {
+		if w.ranks[vp].pending == 0 {
+			w.reduceComplete(&w.ranks[vp])
+		}
+	}
+	err := w.Cluster.Engine.Run(func() bool { return w.doneRanks == len(w.ranks) })
+	if err != nil {
+		return 0, fmt.Errorf("ampi: flat allreduce stalled: %w", err)
+	}
+	// Re-arm the tree for the next collective.
+	for vp := range w.ranks {
+		w.ranks[vp].pending = int32(binomialChildCount(vp, len(w.ranks)))
+	}
+	return w.maxClock, nil
+}
+
+// reduceComplete fires when a rank has combined all child contributions:
+// it forwards the partial up one edge, or, at the root, turns the wave
+// around into the broadcast.
+func (w *FlatWorld) reduceComplete(r *flatRank) {
+	if r.parent < 0 {
+		w.bcastSend(r)
+		w.doneRanks++
+		w.advance(r.clock)
+		return
+	}
+	p := &w.ranks[r.parent]
+	depart := r.clock + w.Cluster.Cost.MsgSendOverhead
+	arrive := w.Cluster.Transfer(depart, w.pes[r.pe], w.pes[p.pe], w.collBytes)
+	r.clock = depart
+	w.Cluster.Engine.AtCall(arrive, w.reduceFn, p)
+}
+
+// reduceArrive is the engine callback for one reduce edge landing at
+// the parent.
+func (w *FlatWorld) reduceArrive(arg any) {
+	p := arg.(*flatRank)
+	at := w.Cluster.Engine.Now() + w.Cluster.Cost.MsgRecvOverhead
+	if at > p.clock {
+		p.clock = at
+	}
+	if p.pending--; p.pending == 0 {
+		w.reduceComplete(p)
+	}
+}
+
+// bcastSend forwards the broadcast down the rank's tree edges. Sends
+// are sequential on the rank (as in the message-level path), so each
+// child's departure is one send overhead after the previous.
+func (w *FlatWorld) bcastSend(r *flatRank) {
+	rel := int(r.vp)
+	_, limit := binomialNode(rel, len(w.ranks))
+	for m := 1; m < limit && rel+m < len(w.ranks); m <<= 1 {
+		c := &w.ranks[rel+m]
+		r.clock += w.Cluster.Cost.MsgSendOverhead
+		arrive := w.Cluster.Transfer(r.clock, w.pes[r.pe], w.pes[c.pe], w.collBytes)
+		w.Cluster.Engine.AtCall(arrive, w.bcastFn, c)
+	}
+	w.advance(r.clock)
+}
+
+// bcastArrive is the engine callback for one broadcast edge landing at
+// a child: the rank now holds the result, forwards it on, and is done.
+func (w *FlatWorld) bcastArrive(arg any) {
+	c := arg.(*flatRank)
+	c.clock = w.Cluster.Engine.Now() + w.Cluster.Cost.MsgRecvOverhead
+	w.bcastSend(c)
+	w.doneRanks++
+	w.advance(c.clock)
+}
+
+// MigrationStorm migrates every stride-th rank to the PE halfway across
+// the machine, all departing at the current world clock — the
+// load-balancer-gone-wild stress case. Each migration is one engine
+// event; costs follow the message-level migration path: serialize
+// (CopyTime) + wire transfer + deserialize (CopyTime) + fixed
+// migration overhead, over the rank's resident bytes. It drives the
+// engine to completion and returns the time the last rank landed.
+func (w *FlatWorld) MigrationStorm(stride int) (sim.Time, error) {
+	if stride <= 0 {
+		return 0, fmt.Errorf("ampi: migration stride must be positive, got %d", stride)
+	}
+	cost := w.Cluster.Cost
+	bytes := w.PerRankBytes
+	start := w.maxClock
+	npes := len(w.pes)
+	inflight := 0
+	for vp := 0; vp < len(w.ranks); vp += stride {
+		r := &w.ranks[vp]
+		dst := (int(r.pe) + npes/2) % npes
+		if dst == int(r.pe) {
+			continue
+		}
+		depart := start + cost.CopyTime(bytes)
+		arrive := w.Cluster.Transfer(depart, w.pes[r.pe], w.pes[dst], bytes)
+		land := arrive + cost.CopyTime(bytes) + cost.MigrationOverhead
+		r.pe = int32(dst)
+		w.Cluster.Engine.AtCall(land, w.migrateFn, r)
+		inflight++
+	}
+	w.pendingOp = inflight
+	err := w.Cluster.Engine.Run(func() bool { return w.pendingOp == 0 })
+	if err != nil {
+		return 0, fmt.Errorf("ampi: migration storm stalled: %w", err)
+	}
+	return w.maxClock, nil
+}
+
+// migrateArrive is the engine callback for one migrated rank landing on
+// its destination PE.
+func (w *FlatWorld) migrateArrive(arg any) {
+	r := arg.(*flatRank)
+	r.clock = w.Cluster.Engine.Now()
+	w.advance(r.clock)
+	w.Migrations++
+	w.MigratedBytes += w.PerRankBytes
+	w.pendingOp--
+}

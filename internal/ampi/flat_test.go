@@ -1,0 +1,117 @@
+package ampi_test
+
+import (
+	"testing"
+
+	"provirt/internal/ampi"
+	"provirt/internal/elf"
+	"provirt/internal/machine"
+	"provirt/internal/sim"
+	"provirt/internal/trace"
+)
+
+func flatImage() *elf.Image {
+	return elf.NewBuilder("flatapp").
+		TaggedGlobal("iter", 0).
+		Const("table_len", 64).
+		Func("main", 4096).
+		CodeBulk(1 << 20).
+		DataBulk(64 << 10).
+		RODataBulk(48 << 10).
+		MustBuild()
+}
+
+func laptop() machine.Config {
+	return machine.Config{Nodes: 1, ProcsPerNode: 1, PEsPerProc: 8}
+}
+
+func newFlat(t *testing.T, vps int, tr trace.Tracer) *ampi.FlatWorld {
+	t.Helper()
+	w, err := ampi.NewFlatWorld(ampi.FlatConfig{
+		Machine: laptop(),
+		VPs:     vps,
+		Image:   flatImage(),
+		Tracer:  tr,
+	})
+	if err != nil {
+		t.Fatalf("NewFlatWorld: %v", err)
+	}
+	return w
+}
+
+// TestFlatWorldAllreduce checks the flat path completes, advances the
+// clock past setup, and spends exactly one engine event per tree edge
+// per wave.
+func TestFlatWorldAllreduce(t *testing.T) {
+	const vps = 4096
+	w := newFlat(t, vps, nil)
+	if w.PerRankBytes == 0 {
+		t.Fatal("per-rank footprint not measured")
+	}
+	if w.SharedBytesPerRank == 0 {
+		t.Fatal("shared-mapping bytes not measured (code sharing + RO COW should be on)")
+	}
+	done, err := w.Allreduce(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= w.SetupDone {
+		t.Fatalf("allreduce finished at %v, not after setup %v", done, w.SetupDone)
+	}
+	if got, want := w.EventsFired(), uint64(2*(vps-1)); got != want {
+		t.Fatalf("allreduce fired %d events, want %d (one per tree edge per wave)", got, want)
+	}
+}
+
+// TestFlatWorldDeterministic pins the flat model's virtual-time results:
+// identical configs give identical times, traced or not.
+func TestFlatWorldDeterministic(t *testing.T) {
+	run := func(tr trace.Tracer) (sim.Time, sim.Time) {
+		w := newFlat(t, 2048, tr)
+		ar, err := w.Allreduce(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := w.MigrationStorm(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ar, st
+	}
+	ar1, st1 := run(nil)
+	rec := trace.NewRecorder(trace.AllKinds()...)
+	ar2, st2 := run(rec)
+	if ar1 != ar2 || st1 != st2 {
+		t.Fatalf("traced run diverged: allreduce %v vs %v, storm %v vs %v", ar1, ar2, st1, st2)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("traced run recorded nothing")
+	}
+	ar3, st3 := run(nil)
+	if ar1 != ar3 || st1 != st3 {
+		t.Fatalf("repeat run diverged: allreduce %v vs %v, storm %v vs %v", ar1, ar3, st1, st3)
+	}
+}
+
+// TestFlatWorldMillion is the tentpole acceptance check: a
+// 1,000,000-VP allreduce world builds and completes on one machine,
+// followed by a migration storm over an eighth of the ranks.
+func TestFlatWorldMillion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-rank world in -short mode")
+	}
+	const vps = 1_000_000
+	w := newFlat(t, vps, nil)
+	if _, err := w.Allreduce(8); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.EventsFired(), uint64(2*(vps-1)); got != want {
+		t.Fatalf("allreduce fired %d events, want %d", got, want)
+	}
+	if _, err := w.MigrationStorm(8); err != nil {
+		t.Fatal(err)
+	}
+	if w.Migrations == 0 || w.MigratedBytes == 0 {
+		t.Fatalf("storm moved nothing: %d migrations, %d bytes", w.Migrations, w.MigratedBytes)
+	}
+}

@@ -256,15 +256,22 @@ func NewWorld(cfg Config, prog *Program) (*World, error) {
 		w.scheds = append(w.scheds, s)
 	}
 
-	// Rank objects and their threads.
+	// Rank objects and their threads, in two contiguous slabs (one Rank
+	// and one Thread record per VP instead of a heap-object pair each),
+	// sharing a single body closure. At million-VP worlds this is the
+	// difference between 2N cache-hostile allocations and 2 slabs.
+	rankStore := make([]Rank, cfg.VPs)
+	threadStore := make([]ult.Thread, cfg.VPs)
+	body := func(t *ult.Thread) { prog.Main(w.Ranks[t.ID]) }
+	w.Ranks = make([]*Rank, cfg.VPs)
 	for vp := 0; vp < cfg.VPs; vp++ {
-		r := &Rank{world: w, vp: vp, ctx: ctxByVP[vp], pe: pes[vpPE[vp]]}
-		r.thread = ult.NewThread(vp, func(t *ult.Thread) {
-			prog.Main(r)
-		})
+		r := &rankStore[vp]
+		*r = Rank{world: w, vp: vp, ctx: ctxByVP[vp], pe: pes[vpPE[vp]]}
+		r.thread = &threadStore[vp]
+		ult.InitThread(r.thread, vp, body)
 		r.thread.Context = r.ctx
 		r.ctx.Thread = r.thread
-		w.Ranks = append(w.Ranks, r)
+		w.Ranks[vp] = r
 	}
 
 	if cfg.restart != nil {

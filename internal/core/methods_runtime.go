@@ -162,6 +162,14 @@ type PIEOptions struct {
 	// ranks" plan of §6; with no self-modifying code no segment ever
 	// differs, so nothing is transferred.
 	ShareCodePages bool
+	// ShareROData extends the single-descriptor mapping to the read-only
+	// portion of the data segment (const variable cells and declared
+	// .rodata-like bulk, per elf.Layout.ROBytes): those bytes stay on
+	// shared pages with copy-on-write semantics, so startup skips their
+	// memcpy, the per-rank resident footprint shrinks to the writable
+	// delta plus handles, and migrations remap them instead of moving
+	// them. Requires ShareCodePages (same descriptor machinery).
+	ShareROData bool
 }
 
 // NewPIEglobals returns PIEglobals with explicit future-work options;

@@ -47,7 +47,21 @@ func duplicateInstance(env *ProcessEnv, src *elf.Instance, heap *mem.Heap, opts 
 		// one shared descriptor — page tables only, no copy, no
 		// resident footprint, no migration payload.
 		heap.MarkShared(codeBlk)
-		cost += env.Cost.CopyTime(dataBytes)
+		copyBytes := dataBytes
+		if opts.ShareROData {
+			// COW extension: the read-only slice of the data segment
+			// (const cells + declared .rodata bulk) stays on the shared
+			// mapping too. Only the writable delta is copied per rank;
+			// the RO bytes are page-table work, not memcpy, and drop out
+			// of the rank's resident footprint and migration payload.
+			ro := img.Layout().ROBytes
+			if ro > copyBytes {
+				ro = copyBytes
+			}
+			heap.MarkSharedBytes(dataBlk, ro)
+			copyBytes -= ro
+		}
+		cost += env.Cost.CopyTime(copyBytes)
 	} else {
 		cost += env.Cost.CopyTime(img.CodeSize + dataBytes)
 	}

@@ -182,6 +182,11 @@ type Image struct {
 	// Jacobi's 3 MB).
 	CodeSize uint64
 	DataSize uint64
+	// RODataSize is the portion of DataSize that is read-only bulk
+	// (.rodata-like lookup tables and literals lumped into the data
+	// segment). Copy-on-write sharing keeps these bytes on shared pages
+	// per rank; zero means only const variable cells are read-only.
+	RODataSize uint64
 
 	Vars  []*Var
 	Funcs []*Func
@@ -200,6 +205,10 @@ type Image struct {
 	// setup work rather than scaling with accesses. Atomic because
 	// harness sweeps may run worlds sharing an image across goroutines.
 	varLookups atomic.Int64
+
+	// layoutState memoizes the shared instance-layout metadata (see
+	// layout.go).
+	layoutState
 }
 
 // VarByName returns the declared variable or nil.
@@ -350,6 +359,16 @@ func (b *Builder) CodeBulk(size uint64) *Builder {
 func (b *Builder) DataBulk(size uint64) *Builder {
 	if b.err == nil && size > b.img.DataSize {
 		b.img.DataSize = size
+	}
+	return b
+}
+
+// RODataBulk declares that size bytes of the data segment are read-only
+// bulk (lookup tables, literals). It is an annotation consumed by
+// copy-on-write sharing; it does not grow the segment beyond DataBulk.
+func (b *Builder) RODataBulk(size uint64) *Builder {
+	if b.err == nil && size > b.img.RODataSize {
+		b.img.RODataSize = size
 	}
 	return b
 }

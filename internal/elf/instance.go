@@ -41,45 +41,22 @@ type Instance struct {
 func (in *Instance) gotBase() int { return len(in.Img.Vars) }
 
 // gotSlots returns how many GOT entries the image has: one per
-// external-linkage variable plus one per function.
-func (in *Instance) gotSlots() int {
-	n := 0
-	for _, v := range in.Img.Vars {
-		if v.Class == ClassGlobal || v.Class == ClassConst {
-			n++
-		}
-	}
-	return n + len(in.Img.Funcs)
-}
+// external-linkage variable plus one per function. The count comes from
+// the image's shared Layout, computed once and reused by every
+// instance.
+func (in *Instance) gotSlots() int { return in.Img.Layout().GOTSlots }
 
 // gotIndexOfVar returns the GOT slot ordinal for an external-linkage
 // variable, or -1 for statics (which have no GOT entry — the Swapglobals
-// limitation).
+// limitation). O(1) via the image's shared Layout; the seed recomputed
+// it with an O(vars) scan per call, O(vars²) per instantiation.
 func (in *Instance) gotIndexOfVar(v *Var) int {
-	if v.Class == ClassStatic {
-		return -1
-	}
-	slot := 0
-	for _, w := range in.Img.Vars {
-		if w == v {
-			return slot
-		}
-		if w.Class == ClassGlobal || w.Class == ClassConst {
-			slot++
-		}
-	}
-	return -1
+	return in.Img.Layout().VarSlot(v.Index)
 }
 
 // gotIndexOfFunc returns the GOT slot ordinal for a function.
 func (in *Instance) gotIndexOfFunc(f *Func) int {
-	nvars := 0
-	for _, w := range in.Img.Vars {
-		if w.Class == ClassGlobal || w.Class == ClassConst {
-			nvars++
-		}
-	}
-	return nvars + f.Index
+	return in.Img.Layout().ExternVars + f.Index
 }
 
 // NewInstance materializes an image at the given segment bases:

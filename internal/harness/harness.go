@@ -81,18 +81,29 @@ type TraceSel struct {
 	// selected point's supervised run across all of its attempts.
 	MTBF   sim.Time
 	Target ampi.CheckpointTarget
+	// VPs selects the rank count (scale).
+	VPs int
 	// Rec receives the selected world's events.
 	Rec *trace.Recorder
+	// Sink, consulted when Rec is nil, receives the selected world's
+	// events through an arbitrary Tracer — a trace.WindowWriter for
+	// runs whose event volume must not be buffered in memory (the
+	// million-rank scale experiment).
+	Sink trace.Tracer
 }
 
-// tracerFor returns the selection's recorder when match reports the
-// sweep point is the selected one, else a nil Tracer.
+// tracerFor returns the selection's tracer when match reports the
+// sweep point is the selected one, else a nil Tracer. An in-memory
+// recorder takes precedence; otherwise the streaming sink is used.
 func (o Opts) tracerFor(match func(*TraceSel) bool) trace.Tracer {
 	ts := o.Trace
-	if ts == nil || ts.Rec == nil || !match(ts) {
+	if ts == nil || (ts.Rec == nil && ts.Sink == nil) || !match(ts) {
 		return nil
 	}
-	return ts.Rec
+	if ts.Rec != nil {
+		return ts.Rec
+	}
+	return ts.Sink
 }
 
 // Fig5Methods are the privatization methods the startup experiment

@@ -40,6 +40,9 @@ func MemoryFootprint(o Opts) ([]MemoryRow, *trace.Table, error) {
 		{"pieglobals+sharedcode", func() core.Method {
 			return core.NewPIEglobals(core.PIEOptions{ShareCodePages: true})
 		}},
+		{"pieglobals+sharedcode+cow", func() core.Method {
+			return core.NewPIEglobals(core.PIEOptions{ShareCodePages: true, ShareROData: true})
+		}},
 	}
 	rows := make([]MemoryRow, len(variants))
 	err := o.runner().Run(len(variants), func(i int) error {
@@ -66,7 +69,7 @@ func MemoryFootprint(o Opts) ([]MemoryRow, *trace.Table, error) {
 		resident := ctx.Heap.ResidentBytes()
 		var stackResident uint64
 		if blk := ctx.Heap.Lookup(ctx.Stack.Addr); blk != nil && !blk.Shared {
-			stackResident = blk.Size
+			stackResident = blk.Size - blk.SharedBytes
 		}
 		bytes += resident - stackResident
 		// TLS block.

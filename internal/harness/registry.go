@@ -28,6 +28,9 @@ type RunOpts struct {
 	// Adcirc sizes the table2/fig9 workload (zero selects
 	// adcirc.DefaultConfig).
 	Adcirc adcirc.Config
+	// ScaleVPs is the scale experiment's rank count (<= 0 selects
+	// DefaultScaleVPs — one million).
+	ScaleVPs int
 }
 
 func (r RunOpts) nodes() int {
@@ -177,6 +180,17 @@ var registry = []Experiment{
 		Run: func(r RunOpts) (Result, error) {
 			rows, t2, f9, err := AdcircScaling(r.Opts, r.adcirc(), r.Cores)
 			return Result{Rows: rows, Tables: []*trace.Table{t2, f9}}, err
+		},
+	},
+	{
+		Name:        "scale",
+		Description: "Million-VP scale: flat-world allreduce + migration storm with per-rank memory gauges",
+		Flags:       []string{"vps"},
+		Traceable:   true,
+		TraceKeys:   []string{"vps"},
+		Run: func(r RunOpts) (Result, error) {
+			rows, tbl, err := ScaleExperiment(r.Opts, r.ScaleVPs)
+			return Result{Rows: rows, Tables: []*trace.Table{tbl}}, err
 		},
 	},
 }

@@ -22,6 +22,7 @@ func tinyRunOpts(par int) harness.RunOpts {
 		Cores:      []int{1, 2},
 		MTBFs:      []sim.Time{120 * time.Millisecond, 960 * time.Millisecond},
 		Adcirc:     cfg,
+		ScaleVPs:   4096,
 	}
 }
 
@@ -68,7 +69,7 @@ func TestRegistryGoldenSmoke(t *testing.T) {
 func TestRegistryLookup(t *testing.T) {
 	wantOrder := []string{
 		"tables", "fig5", "fig5scale", "fig6", "fig7", "fig8",
-		"icache", "memory", "ftsweep", "table2",
+		"icache", "memory", "ftsweep", "table2", "scale",
 	}
 	exps := harness.Experiments()
 	if len(exps) != len(wantOrder) {

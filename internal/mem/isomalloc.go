@@ -24,6 +24,13 @@ type Block struct {
 	// the destination re-establishes the mapping instead of receiving
 	// bytes.
 	Shared bool
+	// SharedBytes is the partially-shared span of an otherwise private
+	// block: the leading bytes backed by a shared read-only mapping
+	// (copy-on-write image data under PIEglobals code sharing). Like a
+	// fully Shared block, these bytes contribute neither resident memory
+	// nor migration payload; the writable remainder behaves normally.
+	// Ignored when Shared is set (the whole block is already shared).
+	SharedBytes uint64
 	// gen is the block's generation stamp: it advances whenever the
 	// payload may have changed, and a snapshot entry is reusable only
 	// while its recorded generation still matches. See Touch.
@@ -32,6 +39,18 @@ type Block struct {
 
 // End returns one past the last byte of the block.
 func (b *Block) End() uint64 { return b.Addr + b.Size }
+
+// sharedSpan returns how many of the block's bytes are backed by shared
+// mappings: all of them for a Shared block, SharedBytes otherwise.
+func (b *Block) sharedSpan() uint64 {
+	if b.Shared {
+		return b.Size
+	}
+	return b.SharedBytes
+}
+
+// residentSpan returns the block's private (resident) byte count.
+func (b *Block) residentSpan() uint64 { return b.Size - b.sharedSpan() }
 
 // Touch marks the block's payload as modified since the last snapshot.
 // The runtime's write paths (privatized stores, charge-only access
@@ -155,6 +174,7 @@ func (h *Heap) allocRaw(size uint64, label string) (*Block, error) {
 		b := f
 		b.Label = label
 		b.Shared = false
+		b.SharedBytes = 0
 		b.gen++ // never match a stale snapshot entry from a past life
 		if f.Size > size {
 			h.free[i] = &Block{Addr: f.Addr + size, Size: f.Size - size}
@@ -190,11 +210,11 @@ func (h *Heap) Free(addr uint64) error {
 	h.indexRemove(addr)
 	delete(h.clean, b) // the recycled struct must never revive a stale copy
 	h.live -= b.Size
-	if !b.Shared {
-		h.resident -= b.Size
-	}
+	h.resident -= b.residentSpan()
 	b.Words = nil
 	b.Label = ""
+	b.Shared = false
+	b.SharedBytes = 0
 	b.gen++
 	i := sort.Search(len(h.free), func(i int) bool { return h.free[i].Addr > b.Addr })
 	h.free = append(h.free, nil)
@@ -211,8 +231,28 @@ func (h *Heap) MarkShared(b *Block) {
 	if b.Shared {
 		return
 	}
+	h.resident -= b.residentSpan()
 	b.Shared = true
-	h.resident -= b.Size
+}
+
+// MarkSharedBytes marks the leading n bytes of a live block as backed by
+// a shared read-only mapping, leaving the remainder private — the
+// copy-on-write shape of a PIEglobals data segment whose .rodata pages
+// are shared across ranks. n is clamped to the block size; marking never
+// shrinks an existing shared span, and a fully Shared block is left
+// alone.
+func (h *Heap) MarkSharedBytes(b *Block, n uint64) {
+	if b.Shared {
+		return
+	}
+	if n > b.Size {
+		n = b.Size
+	}
+	if n <= b.SharedBytes {
+		return
+	}
+	h.resident -= n - b.SharedBytes
+	b.SharedBytes = n
 }
 
 // Lookup returns the live block containing addr, or nil.
@@ -227,10 +267,14 @@ func (h *Heap) Lookup(addr uint64) *Block {
 // LiveBytes reports the total size of live allocations.
 func (h *Heap) LiveBytes() uint64 { return h.live }
 
-// ResidentBytes reports live allocation bytes excluding blocks backed
-// by shared read-only mappings — the per-rank physical memory
-// footprint.
+// ResidentBytes reports live allocation bytes excluding spans backed by
+// shared read-only mappings (whole Shared blocks and partial SharedBytes
+// prefixes) — the per-rank physical memory footprint.
 func (h *Heap) ResidentBytes() uint64 { return h.resident }
+
+// SharedSpanBytes reports live allocation bytes backed by shared
+// read-only mappings: the gap between LiveBytes and ResidentBytes.
+func (h *Heap) SharedSpanBytes() uint64 { return h.live - h.resident }
 
 // LiveBlocks reports the number of live allocations.
 func (h *Heap) LiveBlocks() int { return len(h.blocks) }
@@ -273,9 +317,7 @@ type Snapshot struct {
 func (s *Snapshot) Bytes() uint64 {
 	var n uint64
 	for i := range s.Blocks {
-		if !s.Blocks[i].Shared {
-			n += s.Blocks[i].Size
-		}
+		n += s.Blocks[i].residentSpan()
 	}
 	return n
 }
@@ -323,7 +365,7 @@ func (h *Heap) Serialize() *Snapshot {
 	}
 	arena := make([]uint64, copyWords)
 	for i, b := range h.index {
-		cp := Block{Addr: b.Addr, Size: b.Size, Label: b.Label, Shared: b.Shared}
+		cp := Block{Addr: b.Addr, Size: b.Size, Label: b.Label, Shared: b.Shared, SharedBytes: b.SharedBytes}
 		e, cached := h.clean[b]
 		clean := cached && e.gen == b.gen
 		switch {
@@ -333,9 +375,7 @@ func (h *Heap) Serialize() *Snapshot {
 			if !clean {
 				h.clean[b] = snapEntry{gen: b.gen}
 				snap.fresh[i] = true
-				if !b.Shared {
-					snap.delta += b.Size
-				}
+				snap.delta += b.residentSpan()
 			}
 		default:
 			w := arena[:len(b.Words):len(b.Words)]
@@ -346,9 +386,11 @@ func (h *Heap) Serialize() *Snapshot {
 			snap.fresh[i] = true
 			// A clean-but-aliased block's content is unchanged since the
 			// previous snapshot: the copy is a local memcpy, not wire
-			// bytes, so it contributes nothing to the delta.
-			if !clean && !b.Shared {
-				snap.delta += b.Size
+			// bytes, so it contributes nothing to the delta. Shared spans
+			// (whole blocks or partial read-only prefixes) are remapped by
+			// the destination, never sent, so they never count either.
+			if !clean {
+				snap.delta += b.residentSpan()
 			}
 		}
 		snap.Blocks = append(snap.Blocks, cp)
@@ -370,16 +412,14 @@ func rebuild(snap *Snapshot, words func(i int) ([]uint64, snapEntry)) *Heap {
 	for i := range snap.Blocks {
 		cp := &snap.Blocks[i]
 		nb := &structs[i]
-		*nb = Block{Addr: cp.Addr, Size: cp.Size, Label: cp.Label, Shared: cp.Shared}
+		*nb = Block{Addr: cp.Addr, Size: cp.Size, Label: cp.Label, Shared: cp.Shared, SharedBytes: cp.SharedBytes}
 		w, entry := words(i)
 		nb.Words = w
 		h.clean[nb] = entry // entry.gen is 0, matching the fresh block's gen
 		h.blocks[nb.Addr] = nb
 		h.index = append(h.index, nb) // snapshots are address-ordered
 		h.live += nb.Size
-		if !nb.Shared {
-			h.resident += nb.Size
-		}
+		h.resident += nb.residentSpan()
 	}
 	if len(snap.FreeSpans) > 0 {
 		h.free = make([]*Block, len(snap.FreeSpans))

@@ -102,6 +102,26 @@ func NewEngine() *Engine {
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Reserve pre-sizes the engine for a workload that will keep about n
+// events in flight: the queue gets capacity up front and the free list
+// is stocked with n nodes, so the first wave of scheduling neither grows
+// the heap slice nor allocates nodes one by one. Million-rank worlds
+// call it once at build; it is never required for correctness.
+func (e *Engine) Reserve(n int) {
+	if extra := n - cap(e.queue); extra > 0 {
+		q := make([]*node, len(e.queue), n)
+		copy(q, e.queue)
+		e.queue = q
+	}
+	if need := n - len(e.free); need > 0 {
+		nodes := make([]node, need) // one slab, not n small allocations
+		for i := range nodes {
+			nodes[i].eng = e
+			e.free = append(e.free, &nodes[i])
+		}
+	}
+}
+
 // EventsFired reports how many events have been processed so far.
 func (e *Engine) EventsFired() uint64 { return e.fired }
 

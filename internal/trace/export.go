@@ -16,15 +16,23 @@ import (
 // runs of the same configuration — serial or inside a parallel sweep —
 // produce identical files.
 
+// writeEventJSONL writes one event in the canonical JSONL encoding.
+// WriteJSONL and the streaming WindowWriter both go through it, so a
+// windowed trace of a run is byte-identical to the buffered one.
+func writeEventJSONL(bw *bufio.Writer, ev Event) error {
+	_, err := fmt.Fprintf(bw,
+		`{"t_ns":%d,"dur_ns":%d,"kind":%q,"pe":%d,"vp":%d,"peer":%d,"tag":%d,"aux":%d,"comm":%d,"bytes":%d}`+"\n",
+		ev.Time.Nanoseconds(), ev.Dur.Nanoseconds(), ev.Kind.String(),
+		ev.PE, ev.VP, ev.Peer, ev.Tag, ev.Aux, ev.Comm, ev.Bytes)
+	return err
+}
+
 // WriteJSONL writes one JSON object per event, every field present and
 // in a fixed order.
 func WriteJSONL(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	for _, ev := range events {
-		if _, err := fmt.Fprintf(bw,
-			`{"t_ns":%d,"dur_ns":%d,"kind":%q,"pe":%d,"vp":%d,"peer":%d,"tag":%d,"aux":%d,"comm":%d,"bytes":%d}`+"\n",
-			ev.Time.Nanoseconds(), ev.Dur.Nanoseconds(), ev.Kind.String(),
-			ev.PE, ev.VP, ev.Peer, ev.Tag, ev.Aux, ev.Comm, ev.Bytes); err != nil {
+		if err := writeEventJSONL(bw, ev); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,70 @@
+package trace
+
+import "runtime"
+
+// MemGauge measures host heap usage of a world build and run: bytes in
+// use at world build and at the observed peak, relative to a baseline
+// taken when the gauge was created. This is the one deliberately
+// host-measured quantity in the reproduction — it answers "what does a
+// million-rank world cost the machine it runs on", which virtual time
+// cannot. Gauge readings therefore must never feed back into virtual
+// time or rendered experiment tables (the golden-smoke test pins those
+// to be bit-identical across runs); they travel in result rows and
+// benchmark metrics only.
+type MemGauge struct {
+	baseline uint64
+	// BuildBytes is heap in use right after world build, net of the
+	// baseline.
+	BuildBytes uint64
+	// PeakBytes is the highest sampled heap use, net of the baseline.
+	PeakBytes uint64
+}
+
+// heapInUse reads the live-heap byte count after collecting garbage, so
+// samples measure retained state rather than allocation churn.
+func heapInUse() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// NewMemGauge captures the baseline; call it before building the world
+// being measured.
+func NewMemGauge() *MemGauge {
+	return &MemGauge{baseline: heapInUse()}
+}
+
+// sub returns cur-baseline, clamped at zero (GC can shrink the heap
+// below the baseline).
+func (g *MemGauge) sub(cur uint64) uint64 {
+	if cur < g.baseline {
+		return 0
+	}
+	return cur - g.baseline
+}
+
+// SampleBuild records the build-time reading; call it once, right after
+// world construction. It also counts toward the peak.
+func (g *MemGauge) SampleBuild() {
+	g.BuildBytes = g.sub(heapInUse())
+	if g.BuildBytes > g.PeakBytes {
+		g.PeakBytes = g.BuildBytes
+	}
+}
+
+// Sample folds the current reading into the peak; call it at phase
+// boundaries (after a collective, after a migration storm).
+func (g *MemGauge) Sample() {
+	if n := g.sub(heapInUse()); n > g.PeakBytes {
+		g.PeakBytes = n
+	}
+}
+
+// PerRank reports the build and peak readings divided across vps ranks.
+func (g *MemGauge) PerRank(vps int) (build, peak uint64) {
+	if vps <= 0 {
+		return 0, 0
+	}
+	return g.BuildBytes / uint64(vps), g.PeakBytes / uint64(vps)
+}

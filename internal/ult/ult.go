@@ -78,13 +78,18 @@ type Thread struct {
 }
 
 // NewThread creates a thread that will run body when first scheduled.
+// The backing goroutine and its handoff channels are created lazily on
+// the first run, so a thread that never executes (an idle rank parked in
+// a collective for the whole run) costs one struct, not a goroutine.
 func NewThread(id int, body func(*Thread)) *Thread {
-	return &Thread{
-		ID:     id,
-		body:   body,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
-	}
+	return &Thread{ID: id, body: body}
+}
+
+// InitThread initializes a caller-allocated Thread in place, for worlds
+// that keep rank threads in one contiguous slab instead of a heap object
+// each. The thread behaves exactly like one from NewThread.
+func InitThread(t *Thread, id int, body func(*Thread)) {
+	*t = Thread{ID: id, body: body}
 }
 
 // State reports the thread's lifecycle state.
@@ -193,6 +198,10 @@ func (t *Thread) Wake() {
 func (t *Thread) run() {
 	if !t.started {
 		t.started = true
+		// Lazy materialization: the goroutine and its handoff channels
+		// exist only once the thread actually executes.
+		t.resume = make(chan struct{})
+		t.parked = make(chan struct{})
 		go func() {
 			<-t.resume
 			defer func() {

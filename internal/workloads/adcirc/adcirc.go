@@ -108,6 +108,7 @@ func Image() *elf.Image {
 		Func("boundary_forcing", 24<<10).
 		CodeBulk(CodeSegmentBytes).
 		DataBulk(2 << 20).
+		RODataBulk(1 << 20). // nodal lookup tables, basis constants
 		Relocations(4096)
 	return b.MustBuild()
 }
