@@ -1,9 +1,15 @@
 GO ?= go
 
-# Which committed benchmark record bench-json refreshes.
+# Which committed benchmark record bench-json refreshes, and what
+# bench-compare diffs a fresh run against.
 BENCH_JSON ?= BENCH_6.json
 
-.PHONY: all build test bench bench-smoke bench-json race race-full vet examples ci
+# Regression factor for bench-compare: flag growth past 1.5x. Ordinary
+# run-to-run noise on a quiet machine stays well under that; tighten
+# with BENCH_THRESHOLD=1.2 when chasing a specific benchmark.
+BENCH_THRESHOLD ?= 1.5
+
+.PHONY: all build test bench bench-smoke bench-json bench-compare cover race race-full vet examples ci
 
 # Every example binary, smoke-run at reduced problem size.
 EXAMPLES := quickstart jacobi3d adcirc amr migration cloudrestart
@@ -30,6 +36,23 @@ bench-smoke:
 # Committed so benchmark movement shows up in diffs.
 bench-json:
 	$(GO) test -run xxx -bench . -benchmem ./... | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+
+# Re-measure the full benchmark suite and diff against the committed
+# record; exits nonzero when any benchmark's ns/op or allocs/op grew
+# past BENCH_THRESHOLD. Timing must match how the committed record was
+# produced (full -benchtime), so this takes as long as bench-json —
+# comparing a -benchtime=1x run against a fully-timed record only
+# measures warm-up. CI's advisory bench-compare job instead benchmarks
+# the PR base and head at the same -benchtime=1x and diffs those.
+bench-compare:
+	$(GO) test -run xxx -bench . -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_new.json
+	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) $(BENCH_JSON) BENCH_new.json
+
+# Per-package and total statement coverage; cover.out feeds
+# `go tool cover -html=cover.out` and the CI coverage artifact.
+cover:
+	$(GO) test -cover -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # The sweep runner and the per-world pools are the only code that runs
 # under parallelism; race-check the packages that exercise them (the ft

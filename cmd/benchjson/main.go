@@ -7,14 +7,23 @@
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH.json
+//	go run ./cmd/benchjson -compare OLD.json NEW.json [-threshold 1.10]
+//
+// Convert mode emits a leading "_header" object carrying the count of
+// benchmark-looking lines that failed to parse, so a silently
+// truncated record is visible in review. Compare mode loads two
+// records (with or without the header), reports per-benchmark ns/op
+// and allocs/op ratios, and exits 1 when any ratio exceeds the
+// threshold — the advisory bench-compare CI job is built on it.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
-	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,43 +42,82 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// benchLine matches e.g.
-//
-//	BenchmarkHeapLookup/1024-8   50000   28941 ns/op   96 B/op   2 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+// header is the "_header" entry emitted ahead of the results. Loaders
+// (including compare mode here) skip every "_"-prefixed key, so
+// records from before the header existed still load.
+type header struct {
+	ParseErrors int `json:"parse_errors"`
+	Results     int `json:"results"`
+}
 
-// gomaxprocsSuffix strips the trailing -N processor-count tag so names
-// are stable across machines.
-var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
-
-func parseLine(line string) (string, Result, bool) {
-	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-	if m == nil {
-		return "", Result{}, false
+func allDigits(s string) bool {
+	if s == "" {
+		return false
 	}
-	name := gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(m[1], "Benchmark"), "")
-	iters, err := strconv.ParseInt(m[2], 10, 64)
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseLine parses one `go test -bench` result line. The benchmark
+// name runs from the leading Benchmark token up to (not including) the
+// first all-digit field — the iteration count — so names containing
+// spaces (subtests named with b.Run before Go's underscore escaping,
+// or hand-edited records) survive instead of truncating at the first
+// space. Returns ok=false for lines that aren't benchmark results at
+// all, and ok=false with bad=true for lines that look like one but
+// don't parse (no iteration count, or no measurements).
+func parseLine(line string) (name string, r Result, ok, bad bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false, false
+	}
+	// A bare "BenchmarkFoo" line is the -v announce line, not a result.
+	if len(fields) == 1 {
+		return "", Result{}, false, false
+	}
+	iterAt := -1
+	for i := 1; i < len(fields); i++ {
+		if allDigits(fields[i]) {
+			iterAt = i
+			break
+		}
+	}
+	// Needs an iteration count and at least one value/unit pair.
+	if iterAt < 0 || iterAt+2 >= len(fields) {
+		return "", Result{}, false, true
+	}
+	name = strings.Join(fields[:iterAt], " ")
+	name = gomaxprocsSuffix(strings.TrimPrefix(name, "Benchmark"))
+	iters, err := strconv.ParseInt(fields[iterAt], 10, 64)
 	if err != nil {
-		return "", Result{}, false
+		return "", Result{}, false, true
 	}
-	r := Result{Iterations: iters}
-	fields := strings.Fields(m[3])
-	for i := 0; i+1 < len(fields); i += 2 {
+	r = Result{Iterations: iters}
+	sawUnit := false
+	for i := iterAt + 1; i+1 < len(fields); i += 2 {
 		val, unit := fields[i], fields[i+1]
 		switch unit {
 		case "ns/op":
 			r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			sawUnit = true
 		case "B/op":
 			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
 				r.BytesPerOp = &n
+				sawUnit = true
 			}
 		case "allocs/op":
 			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
 				r.AllocsPerOp = &n
+				sawUnit = true
 			}
 		case "MB/s":
 			if f, err := strconv.ParseFloat(val, 64); err == nil {
 				r.MBPerSec = &f
+				sawUnit = true
 			}
 		default:
 			// A custom b.ReportMetric unit; anything non-numeric is a
@@ -79,31 +127,51 @@ func parseLine(line string) (string, Result, bool) {
 					r.Metrics = make(map[string]float64)
 				}
 				r.Metrics[unit] = f
+				sawUnit = true
 			}
 		}
 	}
-	return name, r, true
+	if !sawUnit {
+		return "", Result{}, false, true
+	}
+	return name, r, true, false
 }
 
-func main() {
+// gomaxprocsSuffix strips the trailing -N processor-count tag so names
+// are stable across machines.
+func gomaxprocsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || !allDigits(name[i+1:]) {
+		return name
+	}
+	return name[:i]
+}
+
+// convert reads bench text from in and writes the JSON record to out.
+func convert(in io.Reader, out io.Writer) error {
 	results := make(map[string]Result)
-	sc := bufio.NewScanner(os.Stdin)
+	parseErrors := 0
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		if name, r, ok := parseLine(sc.Text()); ok {
+		name, r, ok, bad := parseLine(strings.TrimSpace(sc.Text()))
+		if bad {
+			parseErrors++
+			continue
+		}
+		if ok {
 			results[name] = r
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		return fmt.Errorf("no benchmark lines on stdin")
 	}
 	// json.Marshal sorts map keys, so output is deterministic, but emit
 	// through an explicit ordered structure for indented readability.
+	// The header leads so a truncated record is obvious at the top.
 	names := make([]string, 0, len(results))
 	for n := range results {
 		names = append(names, n)
@@ -111,11 +179,15 @@ func main() {
 	sort.Strings(names)
 	var b strings.Builder
 	b.WriteString("{\n")
+	hdr, err := json.Marshal(header{ParseErrors: parseErrors, Results: len(results)})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&b, "  %s: %s,\n", mustMarshal("_header"), hdr)
 	for i, n := range names {
 		enc, err := json.Marshal(results[n])
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Fprintf(&b, "  %s: %s", mustMarshal(n), enc)
 		if i < len(names)-1 {
@@ -124,7 +196,151 @@ func main() {
 		b.WriteString("\n")
 	}
 	b.WriteString("}\n")
-	os.Stdout.WriteString(b.String())
+	_, err = io.WriteString(out, b.String())
+	return err
+}
+
+// loadRecord reads a BENCH_*.json file, skipping "_"-prefixed
+// metadata keys so both header-carrying and older header-less records
+// load.
+func loadRecord(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Result, len(raw))
+	for name, msg := range raw {
+		if strings.HasPrefix(name, "_") {
+			continue
+		}
+		var r Result
+		if err := json.Unmarshal(msg, &r); err != nil {
+			return nil, fmt.Errorf("%s: %q: %w", path, name, err)
+		}
+		out[name] = r
+	}
+	return out, nil
+}
+
+// delta is one benchmark's old/new comparison.
+type delta struct {
+	name               string
+	nsRatio            float64 // new/old ns/op; 0 when old ns/op is 0
+	allocRatio         float64 // new/old allocs/op; 0 when not comparable
+	nsOld, nsNew       float64
+	allocOld, allocNew int64
+}
+
+// compareRecords diffs two records. A benchmark regresses when its
+// ns/op or allocs/op grows by more than threshold (e.g. 1.10 = +10%);
+// it improves when it shrinks by the same factor.
+func compareRecords(old, new map[string]Result, threshold float64) (regressions, improvements []delta, added, removed []string) {
+	for name, n := range new {
+		o, ok := old[name]
+		if !ok {
+			added = append(added, name)
+			continue
+		}
+		d := delta{name: name, nsOld: o.NsPerOp, nsNew: n.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.nsRatio = n.NsPerOp / o.NsPerOp
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			d.allocOld, d.allocNew = *o.AllocsPerOp, *n.AllocsPerOp
+			if d.allocOld > 0 {
+				d.allocRatio = float64(d.allocNew) / float64(d.allocOld)
+			}
+		}
+		switch {
+		case d.nsRatio > threshold || d.allocRatio > threshold:
+			regressions = append(regressions, d)
+		case d.nsRatio > 0 && d.nsRatio < 1/threshold:
+			improvements = append(improvements, d)
+		}
+	}
+	for name := range old {
+		if _, ok := new[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	byName := func(ds []delta) {
+		sort.Slice(ds, func(i, j int) bool { return ds[i].name < ds[j].name })
+	}
+	byName(regressions)
+	byName(improvements)
+	sort.Strings(added)
+	sort.Strings(removed)
+	return regressions, improvements, added, removed
+}
+
+// compare runs compare mode and returns the process exit code.
+func compare(oldPath, newPath string, threshold float64, out, errOut io.Writer) int {
+	if threshold <= 1 {
+		fmt.Fprintf(errOut, "benchjson: -threshold must be > 1 (got %g)\n", threshold)
+		return 2
+	}
+	old, err := loadRecord(oldPath)
+	if err != nil {
+		fmt.Fprintf(errOut, "benchjson: %v\n", err)
+		return 2
+	}
+	new, err := loadRecord(newPath)
+	if err != nil {
+		fmt.Fprintf(errOut, "benchjson: %v\n", err)
+		return 2
+	}
+	regressions, improvements, added, removed := compareRecords(old, new, threshold)
+	fmt.Fprintf(out, "benchjson compare: %s -> %s (threshold %.2fx)\n", oldPath, newPath, threshold)
+	for _, d := range regressions {
+		fmt.Fprintf(out, "  REGRESSION %s: %.0f -> %.0f ns/op (%.2fx)", d.name, d.nsOld, d.nsNew, d.nsRatio)
+		if d.allocRatio > threshold {
+			fmt.Fprintf(out, ", %d -> %d allocs/op (%.2fx)", d.allocOld, d.allocNew, d.allocRatio)
+		}
+		fmt.Fprintln(out)
+	}
+	for _, d := range improvements {
+		fmt.Fprintf(out, "  improvement %s: %.0f -> %.0f ns/op (%.2fx)\n", d.name, d.nsOld, d.nsNew, d.nsRatio)
+	}
+	for _, n := range added {
+		fmt.Fprintf(out, "  added %s\n", n)
+	}
+	for _, n := range removed {
+		fmt.Fprintf(out, "  removed %s\n", n)
+	}
+	fmt.Fprintf(out, "  %d compared, %d regressions, %d improvements, %d added, %d removed\n",
+		len(new)-len(added), len(regressions), len(improvements), len(added), len(removed))
+	if len(regressions) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	comparePair := flag.Bool("compare", false,
+		"compare two BENCH_*.json records given as positional args (old new) instead of converting stdin")
+	threshold := flag.Float64("threshold", 1.10,
+		"compare mode: flag a regression when ns/op or allocs/op grows by more than this factor")
+	flag.Parse()
+
+	if *comparePair {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compare(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout, os.Stderr))
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: convert mode reads stdin and takes no args (did you mean -compare?)")
+		os.Exit(2)
+	}
+	if err := convert(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func mustMarshal(s string) string {

@@ -1,11 +1,18 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
-	name, r, ok := parseLine("BenchmarkHeapLookup/1024-8  \t  50000\t     28941 ns/op\t      96 B/op\t       2 allocs/op")
-	if !ok {
-		t.Fatal("line not recognized")
+	name, r, ok, bad := parseLine("BenchmarkHeapLookup/1024-8  \t  50000\t     28941 ns/op\t      96 B/op\t       2 allocs/op")
+	if !ok || bad {
+		t.Fatalf("line not recognized: ok=%v bad=%v", ok, bad)
 	}
 	if name != "HeapLookup/1024" {
 		t.Errorf("name %q, want HeapLookup/1024 (processor suffix stripped)", name)
@@ -17,7 +24,7 @@ func TestParseLine(t *testing.T) {
 		t.Errorf("memstats not parsed: %+v", r)
 	}
 
-	name, r, ok = parseLine("BenchmarkMigrateRank-16   	    2906	    412345.5 ns/op")
+	name, r, ok, _ = parseLine("BenchmarkMigrateRank-16   	    2906	    412345.5 ns/op")
 	if !ok || name != "MigrateRank" {
 		t.Fatalf("plain line: ok=%v name=%q", ok, name)
 	}
@@ -25,7 +32,7 @@ func TestParseLine(t *testing.T) {
 		t.Errorf("parsed %+v", r)
 	}
 
-	name, r, ok = parseLine("BenchmarkScaleAllreduce-8   	       1	 812345678 ns/op	        42.50 host-B/rank	   1048576 model-B/rank")
+	name, r, ok, _ = parseLine("BenchmarkScaleAllreduce-8   	       1	 812345678 ns/op	        42.50 host-B/rank	   1048576 model-B/rank")
 	if !ok || name != "ScaleAllreduce" {
 		t.Fatalf("metric line: ok=%v name=%q", ok, name)
 	}
@@ -38,9 +45,165 @@ func TestParseLine(t *testing.T) {
 		"PASS",
 		"ok  	provirt/internal/mem	12.3s",
 		"--- BENCH: BenchmarkFoo",
+		"BenchmarkFoo", // -v announce line, not a result
 	} {
-		if _, _, ok := parseLine(line); ok {
-			t.Errorf("non-benchmark line recognized: %q", line)
+		if _, _, ok, bad := parseLine(line); ok || bad {
+			t.Errorf("non-benchmark line misclassified (ok=%v bad=%v): %q", ok, bad, line)
 		}
+	}
+}
+
+// Subtest names containing spaces (b.Run before underscore escaping,
+// or hand-edited records) must survive up to the iteration count
+// instead of truncating at the first space.
+func TestParseLineNameWithSpaces(t *testing.T) {
+	name, r, ok, bad := parseLine("BenchmarkFig5/PIE globals 8x-4   	 120	  9876543 ns/op")
+	if !ok || bad {
+		t.Fatalf("spaced name not recognized: ok=%v bad=%v", ok, bad)
+	}
+	if name != "Fig5/PIE globals 8x" {
+		t.Errorf("name %q, want \"Fig5/PIE globals 8x\"", name)
+	}
+	if r.Iterations != 120 || r.NsPerOp != 9876543 {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+// Lines that look like benchmark results but don't parse are counted,
+// not silently dropped.
+func TestParseLineBadLines(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkTruncated-8   	    2906",          // no measurements
+		"BenchmarkNoIters-8   	 ns/op garbage here", // no iteration count
+	} {
+		if _, _, ok, bad := parseLine(line); ok || !bad {
+			t.Errorf("want bad parse (ok=%v bad=%v): %q", ok, bad, line)
+		}
+	}
+}
+
+func TestConvertEmitsHeaderWithParseErrors(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkGood-8   	 100	  5000 ns/op",
+		"BenchmarkTruncated-8   	 100", // bad: no measurements
+		"PASS",
+	}, "\n")
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output not valid JSON: %v\n%s", err, out.String())
+	}
+	var h header
+	if err := json.Unmarshal(doc["_header"], &h); err != nil {
+		t.Fatalf("no _header: %v\n%s", err, out.String())
+	}
+	if h.ParseErrors != 1 || h.Results != 1 {
+		t.Errorf("header = %+v, want 1 parse error and 1 result", h)
+	}
+	// The header leads the document so truncation is visible at the top.
+	if !strings.HasPrefix(out.String(), "{\n  \"_header\":") {
+		t.Errorf("header is not the first key:\n%s", out.String())
+	}
+}
+
+func writeRecord(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// loadRecord must read both header-carrying records and the committed
+// pre-header BENCH_*.json files.
+func TestLoadRecordSkipsMetadataKeys(t *testing.T) {
+	dir := t.TempDir()
+	path := writeRecord(t, dir, "b.json", `{
+  "_header": {"parse_errors": 0, "results": 1},
+  "Foo": {"iterations": 10, "ns_per_op": 123}
+}`)
+	rec, err := loadRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 1 || rec["Foo"].NsPerOp != 123 {
+		t.Errorf("loaded %+v", rec)
+	}
+}
+
+// The acceptance check: an injected 2x ns/op regression is detected
+// and turns into a nonzero exit code.
+func TestCompareDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecord(t, dir, "old.json", `{
+  "Fig5Startup": {"iterations": 100, "ns_per_op": 1000, "allocs_per_op": 50},
+  "Fig8Migration": {"iterations": 100, "ns_per_op": 2000},
+  "Gone": {"iterations": 1, "ns_per_op": 1}
+}`)
+	new := writeRecord(t, dir, "new.json", `{
+  "_header": {"parse_errors": 0, "results": 3},
+  "Fig5Startup": {"iterations": 100, "ns_per_op": 2000, "allocs_per_op": 50},
+  "Fig8Migration": {"iterations": 100, "ns_per_op": 1500},
+  "Fresh": {"iterations": 1, "ns_per_op": 1}
+}`)
+	var out, errOut bytes.Buffer
+	code := compare(old, new, 1.10, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (regression present)\n%s%s", code, out.String(), errOut.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "REGRESSION Fig5Startup: 1000 -> 2000 ns/op (2.00x)") {
+		t.Errorf("2x regression not reported:\n%s", report)
+	}
+	if !strings.Contains(report, "improvement Fig8Migration") {
+		t.Errorf("improvement not reported:\n%s", report)
+	}
+	if !strings.Contains(report, "added Fresh") || !strings.Contains(report, "removed Gone") {
+		t.Errorf("added/removed not reported:\n%s", report)
+	}
+
+	// With a threshold above the regression, the same pair passes.
+	out.Reset()
+	if code := compare(old, new, 2.5, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d with generous threshold, want 0\n%s", code, out.String())
+	}
+}
+
+// Allocation growth alone also trips the threshold: allocs/op is
+// host-deterministic, so it's the more trustworthy regression signal
+// on noisy CI machines.
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecord(t, dir, "old.json", `{"X": {"iterations": 10, "ns_per_op": 100, "allocs_per_op": 10}}`)
+	new := writeRecord(t, dir, "new.json", `{"X": {"iterations": 10, "ns_per_op": 100, "allocs_per_op": 30}}`)
+	var out, errOut bytes.Buffer
+	if code := compare(old, new, 1.10, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "10 -> 30 allocs/op (3.00x)") {
+		t.Errorf("alloc regression not reported:\n%s", out.String())
+	}
+}
+
+// Round-trip: committed records produced by convert load cleanly.
+func TestConvertThenLoadRoundTrip(t *testing.T) {
+	in := "BenchmarkRoundTrip-8   	 100	  5000 ns/op	 96 B/op	 2 allocs/op\n"
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	path := writeRecord(t, t.TempDir(), "rt.json", out.String())
+	rec, err := loadRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := rec["RoundTrip"]
+	if !ok || r.NsPerOp != 5000 || r.AllocsPerOp == nil || *r.AllocsPerOp != 2 {
+		t.Errorf("round-trip lost data: %+v", rec)
 	}
 }

@@ -17,8 +17,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"sort"
 	"strconv"
@@ -28,6 +31,7 @@ import (
 	"provirt/internal/ampi"
 	"provirt/internal/core"
 	"provirt/internal/harness"
+	"provirt/internal/obs"
 	"provirt/internal/sim"
 	"provirt/internal/trace"
 )
@@ -65,8 +69,17 @@ func main() {
 		"checkpoint target of the ftsweep point to trace: fs or buddy")
 	profileRanks := flag.Bool("profile-ranks", false,
 		"print per-rank and per-PE virtual-time utilization profiles with a critical-path summary for the traced sweep point")
+	showMetrics := flag.Bool("metrics", false,
+		"collect host-side runtime metrics and print the deterministic text snapshot after the experiments finish")
+	serveMetrics := flag.String("serve-metrics", "",
+		"serve live host metrics on this address (e.g. :9090) while experiments run: Prometheus /metrics, JSON /progress, and /debug/pprof; implies metric collection")
+	showVersion := flag.Bool("version", false, "print build and VCS information and exit")
 	flag.Parse()
 
+	if *showVersion {
+		printVersion()
+		return
+	}
 	if *experiment == "list" {
 		listExperiments()
 		return
@@ -191,8 +204,31 @@ func main() {
 		}
 	}
 
+	// Host metrics piggyback on the runs: instruments observe the host
+	// runtime only, so rows, tables, and trace bytes are identical with
+	// or without them.
+	var reg *obs.Registry
+	var prog *obs.Progress
+	if *showMetrics || *serveMetrics != "" {
+		reg = obs.NewRegistry()
+		prog = harness.EnableObs(reg)
+	}
+	if *serveMetrics != "" {
+		ln, err := net.Listen("tcp", *serveMetrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "privbench: -serve-metrics: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "privbench: serving /metrics, /progress, /debug/pprof on http://%s\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obs.NewHandler(reg, prog)); err != nil {
+				fmt.Fprintf(os.Stderr, "privbench: metrics server: %v\n", err)
+			}
+		}()
+	}
+
 	ropts := harness.RunOpts{
-		Opts:     harness.Opts{Parallelism: *parallel, Trace: sel},
+		Opts:     harness.Opts{Parallelism: *parallel, Trace: sel, Progress: prog},
 		Nodes:    *nodes,
 		Cores:    cores,
 		MTBFs:    mtbfs,
@@ -242,6 +278,52 @@ func main() {
 			fmt.Println(p.PETable())
 			fmt.Println(p.CriticalPath().Summary())
 		}
+	}
+
+	if *showMetrics {
+		// The text snapshot excludes volatile (host-timing) instruments,
+		// so it is byte-identical across runs at a fixed -parallel.
+		fmt.Println("host metrics:")
+		if err := reg.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "privbench: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printVersion reports module, VCS, and toolchain details from the
+// build info stamped into the binary.
+func printVersion() {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		fmt.Println("privbench: no build info (binary built without module support)")
+		return
+	}
+	version := info.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	fmt.Printf("privbench %s (%s, %s)\n", version, info.Main.Path, info.GoVersion)
+	var rev, modified, vcsTime string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		case "vcs.time":
+			vcsTime = s.Value
+		}
+	}
+	if rev != "" {
+		dirty := ""
+		if modified == "true" {
+			dirty = " (modified)"
+		}
+		fmt.Printf("  commit: %s%s\n", rev, dirty)
+	}
+	if vcsTime != "" {
+		fmt.Printf("  commit time: %s\n", vcsTime)
 	}
 }
 

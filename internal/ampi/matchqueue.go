@@ -69,6 +69,8 @@ func (s *msgStore) add(m *message) {
 	m.seq = s.seq
 	s.seq++
 	s.n++
+	metrics.unexpectedTotal.Inc()
+	metrics.unexpectedDepth.SetMax(int64(s.n))
 	if !s.spilled {
 		if len(s.small) < spillThreshold {
 			s.small = append(s.small, m)
@@ -83,6 +85,7 @@ func (s *msgStore) add(m *message) {
 // spill moves linear-mode entries into the hash index (arrival order is
 // preserved: the slice is already seq-sorted).
 func (s *msgStore) spill() {
+	metrics.spills.Inc()
 	if s.buckets == nil {
 		s.buckets = make(map[matchKey][]*message)
 	}
@@ -125,6 +128,7 @@ func (s *msgStore) take(q *Request) *message {
 	if s.n == 0 {
 		return nil
 	}
+	metrics.probeDepth.Observe(uint64(s.n))
 	if !s.spilled {
 		for i, m := range s.small {
 			if matchEnvelope(q, m) {
@@ -238,6 +242,7 @@ func (s *reqStore) index(q *Request) {
 // spill moves linear-mode entries into the hash index (posting order is
 // preserved: the slice is already seq-sorted).
 func (s *reqStore) spill() {
+	metrics.spills.Inc()
 	if s.exact == nil {
 		s.exact = make(map[matchKey][]*Request)
 	}
@@ -265,6 +270,7 @@ func (s *reqStore) match(m *message) *Request {
 	if s.n == 0 {
 		return nil
 	}
+	metrics.probeDepth.Observe(uint64(s.n))
 	if !s.spilled {
 		for i, q := range s.small {
 			if matchEnvelope(q, m) {

@@ -1,0 +1,44 @@
+package ft
+
+import "provirt/internal/obs"
+
+// Host-side supervisor instruments (package obs). A sweep full of
+// supervised jobs recovers from hundreds of injected crashes; these
+// counters expose the aggregate resilience cost — how often recovery
+// ran and how much virtual work it threw away — without touching the
+// per-run Report. Nil by default; updates are atomic so parallel
+// sweep points share them.
+type obsMetrics struct {
+	// recoveries counts crashes the supervisor recovered from;
+	// shrinks counts the subset that dropped the failed node instead
+	// of using a spare.
+	recoveries *obs.Counter
+	shrinks    *obs.Counter
+	// reworkNS accumulates virtual nanoseconds of work crashes threw
+	// away (snapshot-to-crash distance per recovery).
+	reworkNS *obs.Counter
+	// restoredBytes accumulates snapshot volume restarts read back.
+	restoredBytes *obs.Counter
+}
+
+var metrics obsMetrics
+
+// EnableObs registers the supervisor instruments in r and turns them
+// on; EnableObs(nil) restores the no-op state. Call it only while no
+// supervised job is running.
+func EnableObs(r *obs.Registry) {
+	if r == nil {
+		metrics = obsMetrics{}
+		return
+	}
+	metrics = obsMetrics{
+		recoveries: r.Counter("ft_recoveries_total",
+			"node crashes the supervisor recovered from"),
+		shrinks: r.Counter("ft_shrink_recoveries_total",
+			"recoveries that shrank onto survivors instead of using a spare"),
+		reworkNS: r.Counter("ft_rework_virtual_ns_total",
+			"virtual nanoseconds of work lost to crashes (rework)"),
+		restoredBytes: r.Counter("ft_restored_bytes_total",
+			"checkpoint bytes restarts read back"),
+	}
+}

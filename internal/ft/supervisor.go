@@ -160,6 +160,7 @@ func Run(job Job) (*Report, error) {
 				pending.Downtime = w.SetupDone
 			}
 			pending.RestoredBytes = w.RestoredBytes
+			metrics.restoredBytes.Add(pending.RestoredBytes)
 			pending = nil
 		}
 		if runErr == nil {
@@ -218,6 +219,11 @@ func Run(job Job) (*Report, error) {
 			// copy; filesystem snapshots ignore this).
 			lastCk.LostNode = nf.Node
 		}
+		metrics.recoveries.Inc()
+		if rec.Shrunk {
+			metrics.shrinks.Inc()
+		}
+		metrics.reworkNS.Add(uint64(rec.Rework))
 		rep.Recoveries = append(rep.Recoveries, rec)
 		pending = &rep.Recoveries[len(rep.Recoveries)-1]
 	}

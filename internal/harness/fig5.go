@@ -90,7 +90,7 @@ func Fig5Scaling(o Opts, nodeCounts []int) (*trace.Table, error) {
 		// The inner sweep runs serially: the outer fan-out already
 		// saturates the workers, and nesting parallel runners would
 		// oversubscribe without changing any output.
-		rows, _, err := Fig5Startup(Opts{Parallelism: 1, Trace: o.Trace}, nodeCounts[i])
+		rows, _, err := Fig5Startup(Opts{Parallelism: 1, Trace: o.Trace, Progress: o.Progress}, nodeCounts[i])
 		perNode[i] = rows
 		return err
 	})

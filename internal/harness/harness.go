@@ -19,6 +19,7 @@ import (
 	"provirt/internal/core"
 	"provirt/internal/harness/sweep"
 	"provirt/internal/machine"
+	"provirt/internal/obs"
 	"provirt/internal/sim"
 	"provirt/internal/trace"
 )
@@ -37,6 +38,11 @@ type Opts struct {
 	// Trace selects exactly one sweep point of the experiment to
 	// trace; nil runs untraced.
 	Trace *TraceSel
+	// Progress, if non-nil, receives sweep lifecycle callbacks (points
+	// scheduled and completed, host wall time per point) for live
+	// progress reporting. Progress observes the host runtime only:
+	// rows, tables, and traces are bit-identical with or without it.
+	Progress *obs.Progress
 }
 
 // Workers resolves the effective sweep parallelism.
@@ -47,8 +53,16 @@ func (o Opts) Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runner returns the sweep runner the experiments fan out with.
-func (o Opts) runner() sweep.Runner { return sweep.Runner{Workers: o.Workers()} }
+// runner returns the sweep runner the experiments fan out with,
+// wiring the progress tracker to the runner's completion hooks.
+func (o Opts) runner() sweep.Runner {
+	r := sweep.Runner{Workers: o.Workers()}
+	if p := o.Progress; p != nil {
+		r.OnStart = p.StartSweep
+		r.OnPoint = func(d sweep.PointDone) { p.Point(d.Worker, d.Elapsed) }
+	}
+	return r
+}
 
 // TraceSel selects exactly one sweep point of an experiment to trace.
 // Each experiment matches only the fields it sweeps — Fig5Startup

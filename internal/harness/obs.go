@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"provirt/internal/ampi"
+	"provirt/internal/ft"
+	"provirt/internal/mem"
+	"provirt/internal/obs"
+	"provirt/internal/sim"
+)
+
+// EnableObs turns on host-side metrics for every instrumented runtime
+// layer — the engine (sim), matchqueues (ampi), snapshots (mem), and
+// the supervisor (ft) — registering their instruments in r, and
+// returns a sweep progress tracker registered in the same registry
+// (wire it into Opts.Progress). EnableObs(nil) uninstalls everything,
+// restoring the one-pointer-comparison no-op state, and returns nil.
+//
+// Call it only between runs: instruments are process-global and the
+// install itself is not synchronized with running worlds. Metrics
+// never feed back into virtual time, so enabling them changes no row,
+// table, or trace byte (pinned by TestObsLeavesRowsAndTracesBitIdentical).
+func EnableObs(r *obs.Registry) *obs.Progress {
+	sim.EnableObs(r)
+	ampi.EnableObs(r)
+	mem.EnableObs(r)
+	ft.EnableObs(r)
+	if r == nil {
+		return nil
+	}
+	return obs.NewProgress(r)
+}

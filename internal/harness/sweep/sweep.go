@@ -16,13 +16,36 @@ package sweep
 import (
 	"runtime"
 	"sync"
+	"time"
 )
+
+// PointDone describes one completed sweep task to a progress hook.
+type PointDone struct {
+	// Index is the task's index in [0,n); Worker the worker that ran
+	// it (0 on a serial sweep).
+	Index, Worker int
+	// Done counts tasks completed so far, including this one; Total is
+	// the sweep size, so Done ranges 1..Total over a sweep.
+	Done, Total int
+	// Elapsed is the task's host wall time. It never feeds back into
+	// the simulation — it exists for throughput metrics and ETAs.
+	Elapsed time.Duration
+}
 
 // Runner executes independent tasks with bounded parallelism.
 type Runner struct {
 	// Workers is the maximum number of concurrent tasks. Values <= 1
 	// run the sweep serially on the calling goroutine.
 	Workers int
+	// OnStart, if non-nil, is called once with the sweep size before
+	// any task runs.
+	OnStart func(total int)
+	// OnPoint, if non-nil, is called after each task completes,
+	// including failed ones. Calls are serialized (never concurrent)
+	// and Done is strictly increasing, so a hook can drive live
+	// progress without its own locking. The hook observes the host
+	// runtime only; task results are unaffected by its presence.
+	OnPoint func(PointDone)
 }
 
 // Default returns a runner sized to the machine.
@@ -39,6 +62,9 @@ func (r Runner) Run(n int, task func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	if r.OnStart != nil {
+		r.OnStart(n)
+	}
 	workers := r.Workers
 	if workers > n {
 		workers = n
@@ -46,8 +72,15 @@ func (r Runner) Run(n int, task func(i int) error) error {
 	if workers <= 1 {
 		var first error
 		for i := 0; i < n; i++ {
+			var began time.Time
+			if r.OnPoint != nil {
+				began = time.Now()
+			}
 			if err := task(i); err != nil && first == nil {
 				first = err
+			}
+			if r.OnPoint != nil {
+				r.OnPoint(PointDone{Index: i, Done: i + 1, Total: n, Elapsed: time.Since(began)})
 			}
 		}
 		return first
@@ -55,12 +88,28 @@ func (r Runner) Run(n int, task func(i int) error) error {
 	errs := make([]error, n)
 	next := make(chan int)
 	var wg sync.WaitGroup
+	// done and the OnPoint call share one mutex so hooks observe a
+	// strictly increasing completion count and never run concurrently.
+	var progressMu sync.Mutex
+	done := 0
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				var began time.Time
+				if r.OnPoint != nil {
+					began = time.Now()
+				}
 				errs[i] = task(i)
+				if r.OnPoint != nil {
+					elapsed := time.Since(began)
+					progressMu.Lock()
+					done++
+					r.OnPoint(PointDone{Index: i, Worker: w, Done: done, Total: n, Elapsed: elapsed})
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}

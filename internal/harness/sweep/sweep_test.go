@@ -81,3 +81,98 @@ func TestDefaultSizedToMachine(t *testing.T) {
 		t.Fatalf("Default().Workers = %d", Default().Workers)
 	}
 }
+
+// The progress hooks' contract under parallelism: OnStart fires once
+// with the sweep size before any task, OnPoint calls are serialized
+// with a strictly increasing Done of 1..n, every index is reported
+// exactly once, and worker attribution stays in range.
+func TestOnPointOrderingUnderParallelism(t *testing.T) {
+	for _, workers := range []int{1, 4, 9} {
+		const n = 60
+		var starts []int
+		var inHook atomic.Int64
+		lastDone := 0
+		seen := make([]int, n)
+		perWorker := make(map[int]int)
+		r := Runner{
+			Workers: workers,
+			OnStart: func(total int) { starts = append(starts, total) },
+			OnPoint: func(d PointDone) {
+				if inHook.Add(1) != 1 {
+					t.Errorf("workers=%d: OnPoint ran concurrently", workers)
+				}
+				defer inHook.Add(-1)
+				if len(starts) == 0 {
+					t.Fatalf("workers=%d: OnPoint before OnStart", workers)
+				}
+				if d.Total != n {
+					t.Fatalf("workers=%d: Total = %d, want %d", workers, d.Total, n)
+				}
+				if d.Done != lastDone+1 {
+					t.Fatalf("workers=%d: Done = %d after %d, want strict increments", workers, d.Done, lastDone)
+				}
+				lastDone = d.Done
+				seen[d.Index]++
+				if d.Worker < 0 || d.Worker >= workers {
+					t.Fatalf("workers=%d: worker id %d out of range", workers, d.Worker)
+				}
+				perWorker[d.Worker]++
+				if d.Elapsed < 0 {
+					t.Fatalf("workers=%d: negative elapsed %v", workers, d.Elapsed)
+				}
+			},
+		}
+		err := r.Run(n, func(i int) error {
+			if i%7 == 3 {
+				return errors.New("some points fail")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected a task error", workers)
+		}
+		if len(starts) != 1 || starts[0] != n {
+			t.Fatalf("workers=%d: OnStart calls %v, want one with %d", workers, starts, n)
+		}
+		if lastDone != n {
+			t.Fatalf("workers=%d: final Done = %d, want %d (failed tasks must still report)", workers, lastDone, n)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d reported %d times", workers, i, c)
+			}
+		}
+		total := 0
+		for _, c := range perWorker {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("workers=%d: per-worker counts sum to %d, want %d", workers, total, n)
+		}
+	}
+}
+
+// Hooks must not change what Run computes: same slots filled, same
+// lowest-indexed error.
+func TestOnPointDoesNotPerturbResults(t *testing.T) {
+	want := errors.New("task 5")
+	out := make([]int, 40)
+	err := Runner{
+		Workers: 8,
+		OnPoint: func(PointDone) {},
+	}.Run(len(out), func(i int) error {
+		out[i] = i + 1
+		if i == 5 {
+			return want
+		}
+		return nil
+	})
+	if err != want {
+		t.Fatalf("got %v, want the lowest-indexed error", err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}

@@ -260,19 +260,14 @@ func TestStrategiesProperty(t *testing.T) {
 			if Validate(loads, pes, assign) != nil {
 				return false
 			}
-			// GreedyRefineLB never worsens the hotspot (it only moves a
-			// rank when the destination stays below the source).
-			// GreedyLB can worsen it when non-migratable ranks skew the
-			// packing, so it is only held to this bar on fully
-			// migratable inputs.
-			checkNoWorse := false
-			switch s.(type) {
-			case GreedyRefineLB:
-				checkNoWorse = true
-			case GreedyLB:
-				checkNoWorse = allMigratable(loads)
-			}
-			if checkNoWorse {
+			// Only GreedyRefineLB guarantees the hotspot never worsens
+			// (it moves a rank only when the destination stays below the
+			// source). GreedyLB repacks from scratch largest-first, and
+			// like any LPT schedule it can exceed an already-balanced
+			// incumbent even when every rank is migratable — e.g. loads
+			// {0x7e17,0xb881,0xb015,0xca68,0xa0fc,0x5e3c,0xdf26,0xd178}
+			// on 2 PEs repack to a higher max than the round-robin start.
+			if _, checkNoWorse := s.(GreedyRefineLB); checkNoWorse {
 				moved := make([]RankLoad, len(loads))
 				copy(moved, loads)
 				for i := range moved {
@@ -288,15 +283,6 @@ func TestStrategiesProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
-}
-
-func allMigratable(loads []RankLoad) bool {
-	for _, l := range loads {
-		if !l.Migratable {
-			return false
-		}
-	}
-	return true
 }
 
 func maxLoad(pe []sim.Time) sim.Time {

@@ -364,6 +364,7 @@ func (h *Heap) Serialize() *Snapshot {
 		}
 	}
 	arena := make([]uint64, copyWords)
+	var reused, copied uint64
 	for i, b := range h.index {
 		cp := Block{Addr: b.Addr, Size: b.Size, Label: b.Label, Shared: b.Shared, SharedBytes: b.SharedBytes}
 		e, cached := h.clean[b]
@@ -371,6 +372,7 @@ func (h *Heap) Serialize() *Snapshot {
 		switch {
 		case clean && !e.aliased:
 			cp.Words = e.words
+			reused++
 		case b.Words == nil:
 			if !clean {
 				h.clean[b] = snapEntry{gen: b.gen}
@@ -382,6 +384,7 @@ func (h *Heap) Serialize() *Snapshot {
 			arena = arena[len(b.Words):]
 			copy(w, b.Words)
 			cp.Words = w
+			copied++
 			h.clean[b] = snapEntry{gen: b.gen, words: w}
 			snap.fresh[i] = true
 			// A clean-but-aliased block's content is unchanged since the
@@ -394,6 +397,16 @@ func (h *Heap) Serialize() *Snapshot {
 			}
 		}
 		snap.Blocks = append(snap.Blocks, cp)
+	}
+	// Host-side accounting only; guarded so the metrics-off path pays a
+	// single pointer comparison and skips the Bytes() walk entirely.
+	if metrics.snapshots != nil {
+		metrics.snapshots.Inc()
+		metrics.fullBytes.Add(snap.Bytes())
+		metrics.deltaBytes.Add(snap.delta)
+		metrics.blocksReused.Add(reused)
+		metrics.blocksCopied.Add(copied)
+		metrics.arenaBytes.Add(uint64(copyWords) * 8)
 	}
 	return snap
 }

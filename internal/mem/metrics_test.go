@@ -1,0 +1,64 @@
+package mem
+
+import (
+	"testing"
+
+	"provirt/internal/obs"
+)
+
+// Snapshot instruments: the second serialization of an untouched heap
+// must show full bytes without delta bytes — the incremental win the
+// counters exist to expose — and dirty blocks must count as copies.
+func TestSnapshotObsCounts(t *testing.T) {
+	r := obs.NewRegistry()
+	EnableObs(r)
+	defer EnableObs(nil)
+
+	h := NewHeap(0)
+	a, _ := h.Alloc(256, "a")
+	h.Alloc(512, "b")
+	a.Touch()
+
+	s1 := h.Serialize()
+	if got := metrics.snapshots.Value(); got != 1 {
+		t.Fatalf("mem_snapshots_total = %d, want 1", got)
+	}
+	if metrics.fullBytes.Value() != s1.Bytes() {
+		t.Fatalf("full bytes = %d, want %d", metrics.fullBytes.Value(), s1.Bytes())
+	}
+	if metrics.deltaBytes.Value() != s1.DeltaBytes() || s1.DeltaBytes() == 0 {
+		t.Fatalf("delta bytes = %d, snapshot delta %d", metrics.deltaBytes.Value(), s1.DeltaBytes())
+	}
+	firstCopied := metrics.blocksCopied.Value()
+	if firstCopied == 0 {
+		t.Fatal("first snapshot copied no blocks")
+	}
+
+	// Untouched heap: everything reuses the clean cache, delta stays 0.
+	s2 := h.Serialize()
+	if s2.DeltaBytes() != 0 {
+		t.Fatalf("untouched heap delta = %d", s2.DeltaBytes())
+	}
+	if got := metrics.deltaBytes.Value(); got != s1.DeltaBytes() {
+		t.Fatalf("delta counter moved on clean snapshot: %d", got)
+	}
+	if metrics.blocksReused.Value() == 0 {
+		t.Fatal("clean snapshot reused no blocks")
+	}
+	if metrics.blocksCopied.Value() != firstCopied {
+		t.Fatalf("clean snapshot copied blocks: %d -> %d", firstCopied, metrics.blocksCopied.Value())
+	}
+
+	// Touch one block: exactly its bytes become delta again.
+	a.Touch()
+	s3 := h.Serialize()
+	if s3.DeltaBytes() == 0 || s3.DeltaBytes() >= s1.DeltaBytes() {
+		t.Fatalf("dirty-block delta = %d (first %d)", s3.DeltaBytes(), s1.DeltaBytes())
+	}
+	if got := metrics.blocksCopied.Value(); got != firstCopied+1 {
+		t.Fatalf("dirty snapshot copied %d blocks, want 1", got-firstCopied)
+	}
+	if metrics.arenaBytes.Value() == 0 {
+		t.Fatal("arena bytes not accounted")
+	}
+}

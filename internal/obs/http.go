@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewHandler serves the registry and progress tracker over HTTP:
+//
+//	/metrics   Prometheus text exposition of every instrument
+//	/progress  JSON: points done/total, ETA, per-worker state
+//	/debug/pprof/...  the standard Go profiling endpoints
+//
+// The handler is read-only over atomics and its own locks, so serving
+// while a sweep runs never blocks or perturbs the run — the endpoint
+// exists precisely to watch long sweeps live. prog may be nil (no
+// sweep progress source); /progress then reports 404.
+func NewHandler(r *Registry, prog *Progress) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Too late for an HTTP error status; the broken connection
+			// is the client's signal.
+			return
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, req *http.Request) {
+		if prog == nil {
+			http.Error(w, "no sweep progress source", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = prog.WriteJSON(w)
+	})
+	// net/http/pprof self-registers only on http.DefaultServeMux; wire
+	// its handlers onto this mux explicitly so the metrics server is
+	// self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "privbench metrics server\n\n/metrics\n/progress\n/debug/pprof/\n")
+	})
+	return mux
+}

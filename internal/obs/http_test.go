@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The acceptance contract for the metrics server: /metrics serves
+// Prometheus text, /progress serves the JSON progress document, and
+// the pprof endpoints answer.
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_events_dispatched_total", "events").Add(42)
+	prog := NewProgress(r)
+	prog.StartSweep(4)
+	prog.Point(1, 3*time.Millisecond)
+
+	srv := httptest.NewServer(NewHandler(r, prog))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, frag := range []string{
+		"# TYPE sim_events_dispatched_total counter",
+		"sim_events_dispatched_total 42",
+		"sweep_points_total 1",
+	} {
+		if !strings.Contains(body, frag) {
+			t.Fatalf("/metrics missing %q:\n%s", frag, body)
+		}
+	}
+
+	code, body = get("/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if snap.PointsDone != 1 || snap.PointsTotal != 4 {
+		t.Fatalf("/progress done/total = %d/%d, want 1/4", snap.PointsDone, snap.PointsTotal)
+	}
+	if len(snap.Workers) != 1 || snap.Workers[0].Worker != 1 {
+		t.Fatalf("/progress workers = %+v", snap.Workers)
+	}
+
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+	if code, _ := get("/"); code != http.StatusOK {
+		t.Fatal("index not served")
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Fatal("unknown path not 404")
+	}
+}
+
+func TestHandlerWithoutProgress(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/progress without source: status %d, want 404", resp.StatusCode)
+	}
+}

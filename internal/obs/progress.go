@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Progress tracks live sweep execution for the /progress endpoint:
+// points done versus expected, throughput-extrapolated ETA, and
+// per-worker completion counts. The harness wires it to the sweep
+// runner's completion hooks; a nil *Progress is a valid no-op, so
+// un-instrumented sweeps pay one pointer comparison per point.
+//
+// Aggregate point counts are deterministic (a sweep's size is a pure
+// function of its configuration); everything host-timed — the ETA,
+// the wall-time histogram, which worker ran which point — is
+// volatile and therefore lives here and on /progress, never in the
+// deterministic text snapshot.
+type Progress struct {
+	mu      sync.Mutex
+	start   time.Time
+	total   int
+	done    int
+	workers map[int]int // worker id -> points completed
+
+	// points and expected are the deterministic registry views of the
+	// same accounting; wall is the volatile per-point host wall-time
+	// histogram (microsecond buckets up to ~16s).
+	points   *Counter
+	expected *Gauge
+	wall     *Histogram
+
+	// now is the clock, injectable for tests.
+	now func() time.Time
+}
+
+// NewProgress returns a tracker registered in r (which may be nil; the
+// tracker still counts, it just registers no instruments).
+func NewProgress(r *Registry) *Progress {
+	return &Progress{
+		start:   time.Now(),
+		workers: make(map[int]int),
+		points: r.Counter("sweep_points_total",
+			"sweep points completed across all experiments this run"),
+		expected: r.Gauge("sweep_points_expected",
+			"sweep points scheduled across all experiments this run"),
+		wall: r.Histogram("sweep_point_wall_us",
+			"host wall time per completed sweep point, microseconds",
+			ExpBuckets(64, 4, 13), Volatile()),
+		now: time.Now,
+	}
+}
+
+// StartSweep records that a sweep of total points is about to run.
+// Sweeps accumulate: running several experiments (or nested sweeps)
+// raises the expected count each time.
+func (p *Progress) StartSweep(total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total += total
+	p.mu.Unlock()
+	p.expected.Add(int64(total))
+}
+
+// Point records one completed sweep point: which worker ran it and how
+// much host wall time it took.
+func (p *Progress) Point(worker int, elapsed time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	p.workers[worker]++
+	p.mu.Unlock()
+	p.points.Inc()
+	p.wall.Observe(uint64(elapsed / time.Microsecond))
+}
+
+// WorkerState is one worker's row in a progress snapshot.
+type WorkerState struct {
+	Worker int `json:"worker"`
+	Points int `json:"points"`
+}
+
+// Snapshot is the JSON document /progress serves.
+type Snapshot struct {
+	PointsDone  int   `json:"points_done"`
+	PointsTotal int   `json:"points_total"`
+	ElapsedMS   int64 `json:"elapsed_ms"`
+	// ETAMS extrapolates the remaining points at the observed rate; -1
+	// while no point has completed (no rate to extrapolate from).
+	ETAMS    int64         `json:"eta_ms"`
+	RatePerS float64       `json:"rate_per_s"`
+	Workers  []WorkerState `json:"workers"`
+}
+
+// Snapshot captures the current state. Workers are sorted by id so the
+// document's shape is stable.
+func (p *Progress) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{ETAMS: -1}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Snapshot{PointsDone: p.done, PointsTotal: p.total, ETAMS: -1}
+	elapsed := p.now().Sub(p.start)
+	s.ElapsedMS = elapsed.Milliseconds()
+	if p.done > 0 && elapsed > 0 {
+		s.RatePerS = float64(p.done) / elapsed.Seconds()
+		remaining := p.total - p.done
+		if remaining < 0 {
+			remaining = 0
+		}
+		s.ETAMS = (elapsed * time.Duration(remaining) / time.Duration(p.done)).Milliseconds()
+	}
+	s.Workers = make([]WorkerState, 0, len(p.workers))
+	for w, n := range p.workers {
+		s.Workers = append(s.Workers, WorkerState{Worker: w, Points: n})
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Worker < s.Workers[j].Worker })
+	return s
+}
+
+// WriteJSON writes the snapshot as one indented JSON document.
+func (p *Progress) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Snapshot())
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilProgressIsNoOp(t *testing.T) {
+	var p *Progress
+	p.StartSweep(10)
+	p.Point(0, time.Millisecond)
+	s := p.Snapshot()
+	if s.PointsDone != 0 || s.PointsTotal != 0 || s.ETAMS != -1 {
+		t.Fatalf("nil progress snapshot: %+v", s)
+	}
+}
+
+func TestProgressAccountingAndETA(t *testing.T) {
+	r := NewRegistry()
+	p := NewProgress(r)
+	// Freeze the clock: 2 of 8 points done after 10s extrapolates to
+	// 30s remaining at 0.2 points/s.
+	base := time.Unix(1000, 0)
+	p.start = base
+	p.now = func() time.Time { return base.Add(10 * time.Second) }
+
+	p.StartSweep(8)
+	p.Point(0, 5*time.Second)
+	p.Point(2, 5*time.Second)
+
+	s := p.Snapshot()
+	if s.PointsDone != 2 || s.PointsTotal != 8 {
+		t.Fatalf("done/total = %d/%d, want 2/8", s.PointsDone, s.PointsTotal)
+	}
+	if s.ElapsedMS != 10_000 {
+		t.Fatalf("elapsed = %dms, want 10000", s.ElapsedMS)
+	}
+	if s.ETAMS != 30_000 {
+		t.Fatalf("eta = %dms, want 30000", s.ETAMS)
+	}
+	if s.RatePerS != 0.2 {
+		t.Fatalf("rate = %v, want 0.2", s.RatePerS)
+	}
+	if len(s.Workers) != 2 || s.Workers[0] != (WorkerState{Worker: 0, Points: 1}) ||
+		s.Workers[1] != (WorkerState{Worker: 2, Points: 1}) {
+		t.Fatalf("workers = %+v", s.Workers)
+	}
+
+	// Registry views: the point counter and expected gauge are
+	// deterministic; the wall histogram is volatile but counts.
+	if got := p.points.Value(); got != 2 {
+		t.Fatalf("sweep_points_total = %d", got)
+	}
+	if got := p.expected.Value(); got != 8 {
+		t.Fatalf("sweep_points_expected = %d", got)
+	}
+	if got := p.wall.Count(); got != 2 {
+		t.Fatalf("wall histogram count = %d", got)
+	}
+}
+
+func TestProgressBeforeFirstPointHasNoETA(t *testing.T) {
+	p := NewProgress(nil)
+	p.StartSweep(5)
+	if s := p.Snapshot(); s.ETAMS != -1 {
+		t.Fatalf("eta before first point = %d, want -1", s.ETAMS)
+	}
+}

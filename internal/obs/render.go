@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// This file renders a registry two ways from one sorted walk:
+//
+//   - WriteText: the deterministic snapshot `privbench -metrics`
+//     appends to its output. It skips volatile instruments, so at a
+//     fixed sweep parallelism two runs of the same configuration
+//     produce byte-identical snapshots (pinned by tests).
+//   - WritePrometheus: the live /metrics endpoint. It includes
+//     everything, volatile instruments and HELP/TYPE metadata.
+//
+// Both formats use Prometheus exposition conventions for sample lines
+// (`name value`, histogram `name_bucket{le="..."}` series), so the
+// text snapshot diffs cleanly against a scraped endpoint.
+
+// WriteText writes the deterministic sorted-text snapshot: every
+// non-volatile instrument, one sample per line, ordered by name.
+func (r *Registry) WriteText(w io.Writer) error {
+	return r.render(w, false, false)
+}
+
+// WritePrometheus writes the full registry in Prometheus text
+// exposition format, including volatile instruments.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.render(w, true, true)
+}
+
+func (r *Registry) render(w io.Writer, includeVolatile, meta bool) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, m := range r.sorted() {
+		if m.volatile && !includeVolatile {
+			continue
+		}
+		if meta {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, typeName(m.kind))
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.gauge.Value())
+		case kindHistogram:
+			bounds, counts := m.hist.Snapshot()
+			// Prometheus histogram buckets are cumulative.
+			var cum uint64
+			for i, c := range counts {
+				cum += c
+				if i < len(bounds) {
+					fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", m.name, bounds[i], cum)
+				} else {
+					fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+				}
+			}
+			fmt.Fprintf(bw, "%s_count %d\n", m.name, m.hist.Count())
+			fmt.Fprintf(bw, "%s_sum %d\n", m.name, m.hist.Sum())
+		}
+	}
+	return bw.Flush()
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}

@@ -134,8 +134,10 @@ func (e *Engine) alloc() *node {
 		nd := e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
+		metrics.nodeReuse.Inc()
 		return nd
 	}
+	metrics.nodeAllocs.Inc()
 	return &node{eng: e}
 }
 
@@ -155,6 +157,7 @@ func (e *Engine) push(nd *node) Event {
 	e.live++
 	e.queue = append(e.queue, nd)
 	e.siftUp(len(e.queue) - 1)
+	metrics.queueDepth.SetMax(int64(len(e.queue)))
 	return Event{n: nd, gen: nd.gen, at: nd.at}
 }
 
@@ -305,6 +308,7 @@ func (e *Engine) Step() bool {
 		e.now = nd.at
 		e.fired++
 		e.live--
+		metrics.dispatched.Inc()
 		if e.tracer != nil {
 			e.tracer.Emit(trace.Event{Time: e.now, Kind: trace.KindEngineEvent, PE: -1, VP: -1, Peer: -1})
 		}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"provirt/internal/obs"
+)
+
+// Engine instruments must count dispatches, queue pressure, and node
+// recycling — and vanish to a pointer comparison when disabled.
+func TestEngineObsCounts(t *testing.T) {
+	r := obs.NewRegistry()
+	EnableObs(r)
+	defer EnableObs(nil)
+
+	e := NewEngine()
+	dispatched := 0
+	for i := 0; i < 8; i++ {
+		e.After(Time(i+1), func() { dispatched++ })
+	}
+	e.Drain()
+	// Reschedule: the free list now feeds alloc.
+	e.After(1, func() { dispatched++ })
+	e.Drain()
+
+	if dispatched != 9 {
+		t.Fatalf("callbacks ran %d times, want 9", dispatched)
+	}
+	if got := metrics.dispatched.Value(); got != 9 {
+		t.Fatalf("sim_events_dispatched_total = %d, want 9", got)
+	}
+	if got := metrics.queueDepth.Value(); got != 8 {
+		t.Fatalf("sim_queue_depth_high_water = %d, want 8", got)
+	}
+	if got := metrics.nodeAllocs.Value(); got != 8 {
+		t.Fatalf("sim_event_node_allocs_total = %d, want 8", got)
+	}
+	if got := metrics.nodeReuse.Value(); got != 1 {
+		t.Fatalf("sim_event_node_reuse_total = %d, want 1", got)
+	}
+
+	EnableObs(nil)
+	e2 := NewEngine()
+	e2.After(1, func() {})
+	e2.Drain()
+	if got := metrics.dispatched.Value(); got != 0 {
+		t.Fatalf("disabled metrics still counting: %d", got)
+	}
+}

@@ -1,6 +1,9 @@
 package trace
 
-import "runtime"
+import (
+	"runtime"
+	"sync"
+)
 
 // MemGauge measures host heap usage of a world build and run: bytes in
 // use at world build and at the observed peak, relative to a baseline
@@ -11,7 +14,12 @@ import "runtime"
 // time or rendered experiment tables (the golden-smoke test pins those
 // to be bit-identical across runs); they travel in result rows and
 // benchmark metrics only.
+//
+// Sample, SampleBuild, and PerRank are safe for concurrent use, so
+// parallel sweep workers can fold readings into one gauge; read the
+// exported fields directly only after sampling has quiesced.
 type MemGauge struct {
+	mu       sync.Mutex
 	baseline uint64
 	// BuildBytes is heap in use right after world build, net of the
 	// baseline.
@@ -47,7 +55,10 @@ func (g *MemGauge) sub(cur uint64) uint64 {
 // SampleBuild records the build-time reading; call it once, right after
 // world construction. It also counts toward the peak.
 func (g *MemGauge) SampleBuild() {
-	g.BuildBytes = g.sub(heapInUse())
+	n := g.sub(heapInUse())
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.BuildBytes = n
 	if g.BuildBytes > g.PeakBytes {
 		g.PeakBytes = g.BuildBytes
 	}
@@ -56,7 +67,10 @@ func (g *MemGauge) SampleBuild() {
 // Sample folds the current reading into the peak; call it at phase
 // boundaries (after a collective, after a migration storm).
 func (g *MemGauge) Sample() {
-	if n := g.sub(heapInUse()); n > g.PeakBytes {
+	n := g.sub(heapInUse())
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n > g.PeakBytes {
 		g.PeakBytes = n
 	}
 }
@@ -66,5 +80,7 @@ func (g *MemGauge) PerRank(vps int) (build, peak uint64) {
 	if vps <= 0 {
 		return 0, 0
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.BuildBytes / uint64(vps), g.PeakBytes / uint64(vps)
 }
