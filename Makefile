@@ -2,7 +2,7 @@ GO ?= go
 
 # Which committed benchmark record bench-json refreshes, and what
 # bench-compare diffs a fresh run against.
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_8.json
 
 # Regression factor for bench-compare: flag growth past 1.5x. Ordinary
 # run-to-run noise on a quiet machine stays well under that; tighten
@@ -54,11 +54,12 @@ cover:
 	$(GO) test -cover -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# The sweep runner and the per-world pools are the only code that runs
-# under parallelism; race-check the packages that exercise them (the ft
+# The sweep runner, the per-world pools, and the parallel event loop
+# (sim.ParallelEngine's window workers) are the code that runs under
+# parallelism; race-check the packages that exercise them (the ft
 # supervisor runs inside ftsweep's parallel fan-out).
 race:
-	$(GO) test -race ./internal/harness/... ./internal/ampi/... ./internal/ft/...
+	$(GO) test -race ./internal/sim/... ./internal/harness/... ./internal/ampi/... ./internal/ft/...
 
 # Full race sweep over every package, as CI's race job runs it.
 race-full:

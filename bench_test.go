@@ -541,3 +541,38 @@ func BenchmarkAblationJacobiNoHoisting(b *testing.B) {
 		b.Fatal("disabling hoisting should slow privatized access")
 	}
 }
+
+// BenchmarkScaleMillionVPParallel is the tentpole gate for the
+// parallel event loop: the same million-rank scale experiment as
+// BenchmarkScaleMillionVP, but with the flat world's event loop
+// sharded across lookahead domains (sim.ParallelEngine). workers-1 is
+// the serial engine running with composite domain stamps — the honest
+// baseline, since the stamp arithmetic is the protocol's fixed cost —
+// and higher counts fan the per-PE domains out across host cores. The
+// results are byte-identical at every setting (pinned by
+// harness.TestScaleSimWorkersIsDeterministic); only ns/op moves.
+func BenchmarkScaleMillionVPParallel(b *testing.B) {
+	// The tag is workers=N, not workers-N: benchjson strips a trailing
+	// -N as the GOMAXPROCS suffix, which would collapse the
+	// sub-benchmarks into one record on single-core machines.
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var rows []harness.ScaleRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, _, err = harness.ScaleExperiment(
+					harness.Opts{SimWorkers: workers}, harness.DefaultScaleVPs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			ar, storm := rows[0], rows[1]
+			b.ReportMetric(float64(ar.Time.Microseconds()), "allreduce-vt-us")
+			b.ReportMetric(float64(storm.Time.Microseconds()), "storm-vt-us")
+			b.ReportMetric(float64(storm.Events), "events")
+			if ar.Events != 2*(harness.DefaultScaleVPs-1) {
+				b.Fatalf("allreduce fired %d events, want %d", ar.Events, 2*(harness.DefaultScaleVPs-1))
+			}
+		})
+	}
+}

@@ -233,11 +233,26 @@ type delta struct {
 	allocRatio         float64 // new/old allocs/op; 0 when not comparable
 	nsOld, nsNew       float64
 	allocOld, allocNew int64
+	// metricsWorse / metricsBetter are the custom b.ReportMetric units
+	// whose value moved past the threshold in either direction — the
+	// same factor that governs ns/op. Many of them (host-build-B/rank,
+	// events, the virtual-time figures) are deterministic, so growth is
+	// a real regression, not noise.
+	metricsWorse  []metricDelta
+	metricsBetter []metricDelta
+}
+
+// metricDelta is one custom metric's old/new comparison.
+type metricDelta struct {
+	unit     string
+	ratio    float64 // new/old; 0 when old is 0
+	old, new float64
 }
 
 // compareRecords diffs two records. A benchmark regresses when its
-// ns/op or allocs/op grows by more than threshold (e.g. 1.10 = +10%);
-// it improves when it shrinks by the same factor.
+// ns/op, allocs/op, or any shared custom metric grows by more than
+// threshold (e.g. 1.10 = +10%); it improves when one of them shrinks
+// by the same factor (and nothing regressed).
 func compareRecords(old, new map[string]Result, threshold float64) (regressions, improvements []delta, added, removed []string) {
 	for name, n := range new {
 		o, ok := old[name]
@@ -255,10 +270,32 @@ func compareRecords(old, new map[string]Result, threshold float64) (regressions,
 				d.allocRatio = float64(d.allocNew) / float64(d.allocOld)
 			}
 		}
+		// Custom metrics present in both records, in sorted unit order so
+		// the report is stable. Units only one side reports are skipped —
+		// they show up as changed record bytes in review instead.
+		units := make([]string, 0, len(n.Metrics))
+		for u := range n.Metrics {
+			if _, ok := o.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			md := metricDelta{unit: u, old: o.Metrics[u], new: n.Metrics[u]}
+			if md.old > 0 {
+				md.ratio = md.new / md.old
+			}
+			switch {
+			case md.ratio > threshold:
+				d.metricsWorse = append(d.metricsWorse, md)
+			case md.ratio > 0 && md.ratio < 1/threshold:
+				d.metricsBetter = append(d.metricsBetter, md)
+			}
+		}
 		switch {
-		case d.nsRatio > threshold || d.allocRatio > threshold:
+		case d.nsRatio > threshold || d.allocRatio > threshold || len(d.metricsWorse) > 0:
 			regressions = append(regressions, d)
-		case d.nsRatio > 0 && d.nsRatio < 1/threshold:
+		case (d.nsRatio > 0 && d.nsRatio < 1/threshold) || len(d.metricsBetter) > 0:
 			improvements = append(improvements, d)
 		}
 	}
@@ -300,10 +337,17 @@ func compare(oldPath, newPath string, threshold float64, out, errOut io.Writer) 
 		if d.allocRatio > threshold {
 			fmt.Fprintf(out, ", %d -> %d allocs/op (%.2fx)", d.allocOld, d.allocNew, d.allocRatio)
 		}
+		for _, m := range d.metricsWorse {
+			fmt.Fprintf(out, ", %g -> %g %s (%.2fx)", m.old, m.new, m.unit, m.ratio)
+		}
 		fmt.Fprintln(out)
 	}
 	for _, d := range improvements {
-		fmt.Fprintf(out, "  improvement %s: %.0f -> %.0f ns/op (%.2fx)\n", d.name, d.nsOld, d.nsNew, d.nsRatio)
+		fmt.Fprintf(out, "  improvement %s: %.0f -> %.0f ns/op (%.2fx)", d.name, d.nsOld, d.nsNew, d.nsRatio)
+		for _, m := range d.metricsBetter {
+			fmt.Fprintf(out, ", %g -> %g %s (%.2fx)", m.old, m.new, m.unit, m.ratio)
+		}
+		fmt.Fprintln(out)
 	}
 	for _, n := range added {
 		fmt.Fprintf(out, "  added %s\n", n)

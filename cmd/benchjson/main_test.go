@@ -207,3 +207,46 @@ func TestConvertThenLoadRoundTrip(t *testing.T) {
 		t.Errorf("round-trip lost data: %+v", rec)
 	}
 }
+
+// Custom b.ReportMetric units ride the same threshold as ns/op:
+// growth in a shared metric (host bytes per rank, event counts, the
+// virtual-time figures) is a regression even when wall time holds
+// steady, and shrinkage alone reports as an improvement.
+func TestCompareDiffsCustomMetrics(t *testing.T) {
+	dir := t.TempDir()
+	old := writeRecord(t, dir, "old.json", `{
+  "ScaleMillionVP": {"iterations": 1, "ns_per_op": 1000,
+    "metrics": {"host-build-B/rank": 100, "events": 2000000, "old-only": 7}},
+  "FlatWorldBuild": {"iterations": 1, "ns_per_op": 500,
+    "metrics": {"model-resident-B/rank": 900}}
+}`)
+	new := writeRecord(t, dir, "new.json", `{
+  "ScaleMillionVP": {"iterations": 1, "ns_per_op": 1000,
+    "metrics": {"host-build-B/rank": 150, "events": 2000000, "new-only": 9}},
+  "FlatWorldBuild": {"iterations": 1, "ns_per_op": 500,
+    "metrics": {"model-resident-B/rank": 600}}
+}`)
+	var out, errOut bytes.Buffer
+	code := compare(old, new, 1.10, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (metric regression present)\n%s%s", code, out.String(), errOut.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "REGRESSION ScaleMillionVP") ||
+		!strings.Contains(report, "100 -> 150 host-build-B/rank (1.50x)") {
+		t.Errorf("metric regression not reported:\n%s", report)
+	}
+	if strings.Contains(report, "events") || strings.Contains(report, "only") {
+		t.Errorf("unchanged or one-sided metrics should not be reported:\n%s", report)
+	}
+	if !strings.Contains(report, "improvement FlatWorldBuild") ||
+		!strings.Contains(report, "900 -> 600 model-resident-B/rank (0.67x)") {
+		t.Errorf("metric-only improvement not reported:\n%s", report)
+	}
+
+	// Above the growth, the same pair passes.
+	out.Reset()
+	if code := compare(old, new, 1.6, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d with generous threshold, want 0\n%s", code, out.String())
+	}
+}

@@ -47,6 +47,8 @@ func main() {
 		"comma-separated MTBF durations for ftsweep (e.g. 120ms,480ms); empty uses the default list")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for experiment sweeps; each simulation stays single-threaded and seeded, so output is identical at any setting (1 = serial)")
+	simWorkers := flag.Int("sim-workers", 0,
+		"workers inside a single simulated world: the flat-world scale experiment shards its event loop across lookahead domains; rows, tables, and traces are byte-identical at any setting (0 or 1 = serial engine)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceFile := flag.String("trace", "",
@@ -228,7 +230,7 @@ func main() {
 	}
 
 	ropts := harness.RunOpts{
-		Opts:     harness.Opts{Parallelism: *parallel, Trace: sel, Progress: prog},
+		Opts:     harness.Opts{Parallelism: *parallel, Trace: sel, Progress: prog, SimWorkers: *simWorkers},
 		Nodes:    *nodes,
 		Cores:    cores,
 		MTBFs:    mtbfs,

@@ -23,6 +23,15 @@ import (
 // reach: ~32 bytes of runtime state per rank instead of a Thread +
 // Rank + stack block each.
 //
+// The flat world is also the repo's first parallel-simulation consumer:
+// with FlatConfig.SimWorkers > 1 its events run on a sharded
+// sim.ParallelEngine, partitioned into the cluster's lookahead domains
+// (machine.Cluster.DomainPlan). Every callback is written
+// domain-confined — it touches only the target rank's record and its
+// domain's counter slot, and reads of other ranks are limited to fields
+// immutable during a run (geometry, home PE) — so rows and trace bytes
+// are byte-identical to the serial engine at any worker count.
+//
 // Privatization cost and footprint are modeled by measurement plus
 // extrapolation: Setup runs for two sample ranks, and the per-rank
 // slope of setup time and resident bytes scales to the full world.
@@ -36,6 +45,16 @@ type FlatWorld struct {
 	ranks []flatRank
 	pes   []*machine.PE
 
+	// eng is the virtual clock: the cluster's serial engine in domain
+	// mode, or a sim.ParallelEngine when SimWorkers asks for one.
+	eng sim.Dispatcher
+	// domOf maps global PE id to lookahead domain.
+	domOf []int32
+	// doms holds the per-domain mutable counters. Each event callback
+	// writes only its own domain's slot; totals are folded on demand
+	// (sums and maxima commute, so they are scheduling-independent).
+	doms []flatDomain
+
 	// SetupDone is the modeled privatization-setup completion time for
 	// the slowest process (extrapolated from the sampled ranks).
 	SetupDone sim.Time
@@ -47,22 +66,20 @@ type FlatWorld struct {
 	// address space that costs no physical memory per rank.
 	SharedBytesPerRank uint64
 
-	// Migrations / MigratedBytes count completed storm migrations.
+	// Migrations / MigratedBytes count completed storm migrations,
+	// folded from the per-domain counters after each storm.
 	Migrations    int
 	MigratedBytes uint64
 
-	maxClock  sim.Time
-	doneRanks int
-	pendingOp int // outstanding modeled operations (edges/migrations in flight)
 	// collBytes is the running collective's per-edge payload, threaded
 	// to the event callbacks without per-event state.
 	collBytes uint64
 
-	// Cached bound-method values so hot-path scheduling via AtCall
+	// Cached bound-method values so hot-path scheduling via AtCallIn
 	// allocates neither closures nor nodes.
-	reduceFn  func(any)
-	bcastFn   func(any)
-	migrateFn func(any)
+	reduceFn  sim.TimedCall
+	bcastFn   sim.TimedCall
+	migrateFn sim.TimedCall
 
 	tracer trace.Tracer
 }
@@ -76,6 +93,18 @@ type flatRank struct {
 	parent  int32 // absolute parent rank in the tree rooted at 0; -1 at root
 	pending int32 // reduce-wave children still outstanding
 	clock   sim.Time
+}
+
+// flatDomain is one lookahead domain's slice of the world's mutable
+// counters, padded to a cache line so concurrent domains don't falsely
+// share one.
+type flatDomain struct {
+	done          int // ranks finished with the running collective
+	pendingOp     int // outstanding modeled operations in this domain
+	maxClock      sim.Time
+	migrations    int
+	migratedBytes uint64
+	_             [24]byte
 }
 
 // FlatConfig describes a flat-path run.
@@ -96,6 +125,11 @@ type FlatConfig struct {
 	// should be a windowed writer (trace.NewWindowWriter), not an
 	// in-memory recorder.
 	Tracer trace.Tracer
+	// SimWorkers enables intra-world parallel simulation: values > 1
+	// run the event engine as a sim.ParallelEngine with up to that many
+	// domains advancing concurrently. Results, rows, and trace bytes
+	// are byte-identical at any setting; <= 1 runs serial.
+	SimWorkers int
 }
 
 // NewFlatWorld builds the cluster, samples privatization setup on two
@@ -126,7 +160,31 @@ func NewFlatWorld(cfg FlatConfig) (*FlatWorld, error) {
 	w.reduceFn = w.reduceArrive
 	w.bcastFn = w.bcastArrive
 	w.migrateFn = w.migrateArrive
+
+	// The clock: both engines stamp ties with the same
+	// (time, domain, creator, count) total order, so which one runs is
+	// invisible in the results. The serial engine enters domain mode
+	// even at SimWorkers <= 1 precisely so the parallel engine has a
+	// serial twin to be byte-compared against.
+	domOf, ndom, lookahead := cl.DomainPlan()
+	w.domOf = domOf
+	w.doms = make([]flatDomain, ndom)
+	if cfg.SimWorkers > 1 && ndom > 1 && lookahead > 0 {
+		w.eng = sim.NewParallelEngine(sim.ParallelConfig{
+			Domains:   ndom,
+			Lookahead: lookahead,
+			Workers:   cfg.SimWorkers,
+			Tracer:    cfg.Tracer,
+		})
+	} else {
+		cl.Engine.EnableDomains(ndom)
+		w.eng = cl.Engine
+	}
 	if w.tracer != nil {
+		// Setup-phase emissions (shared-FS spans during sampling) and the
+		// serial engine's dispatch records; run-phase link events go
+		// through the Sched's tracer so the parallel engine can merge
+		// them deterministically.
 		cl.SetTracer(w.tracer)
 	}
 
@@ -186,11 +244,13 @@ func NewFlatWorld(cfg FlatConfig) (*FlatWorld, error) {
 			clock:   w.SetupDone,
 		}
 	}
-	w.maxClock = w.SetupDone
+	for d := range w.doms {
+		w.doms[d].maxClock = w.SetupDone
+	}
 	// Steady state keeps at most one event in flight per tree level
 	// fan-in plus the leaf wave; reserving the leaf count covers the
 	// worst instantaneous backlog without mid-run growth.
-	cl.Engine.Reserve((cfg.VPs + 1) / 2)
+	w.eng.Reserve((cfg.VPs + 1) / 2)
 	return w, nil
 }
 
@@ -198,16 +258,66 @@ func NewFlatWorld(cfg FlatConfig) (*FlatWorld, error) {
 func (w *FlatWorld) VPs() int { return len(w.ranks) }
 
 // Time reports the maximum rank clock — the job's elapsed virtual time.
-func (w *FlatWorld) Time() sim.Time { return w.maxClock }
+func (w *FlatWorld) Time() sim.Time {
+	t := w.SetupDone
+	for d := range w.doms {
+		if w.doms[d].maxClock > t {
+			t = w.doms[d].maxClock
+		}
+	}
+	return t
+}
 
 // EventsFired reports engine events processed so far.
-func (w *FlatWorld) EventsFired() uint64 { return w.Cluster.Engine.EventsFired() }
+func (w *FlatWorld) EventsFired() uint64 { return w.eng.EventsFired() }
 
-// advance folds a rank-local completion time into the world clock.
-func (w *FlatWorld) advance(t sim.Time) {
-	if t > w.maxClock {
-		w.maxClock = t
+// SimDomains reports how many lookahead domains the world's PEs were
+// partitioned into.
+func (w *FlatWorld) SimDomains() int { return len(w.doms) }
+
+// dom returns the counter slot for the rank's current home domain.
+func (w *FlatWorld) dom(r *flatRank) *flatDomain {
+	return &w.doms[w.domOf[r.pe]]
+}
+
+// advance folds a rank-local completion time into its domain's clock.
+func (w *FlatWorld) advance(r *flatRank, t sim.Time) {
+	if d := w.dom(r); t > d.maxClock {
+		d.maxClock = t
 	}
+}
+
+// doneRanks sums the per-domain completion counters. Only called
+// between events (serial) or at window barriers (parallel), when no
+// callback is mid-flight.
+func (w *FlatWorld) doneRanks() int {
+	n := 0
+	for d := range w.doms {
+		n += w.doms[d].done
+	}
+	return n
+}
+
+// pendingOps sums the per-domain outstanding-operation counters.
+func (w *FlatWorld) pendingOps() int {
+	n := 0
+	for d := range w.doms {
+		n += w.doms[d].pendingOp
+	}
+	return n
+}
+
+// transfer charges a network transfer like machine.Cluster.Transfer,
+// but emits its link span through the Sched's tracer so that under the
+// parallel engine the event lands in the merged per-window stream
+// instead of racing other domains to the user's tracer.
+func (w *FlatWorld) transfer(s sim.Sched, start sim.Time, a, b *machine.PE, n uint64) sim.Time {
+	d := w.Cluster.TransferTimeAt(start, a, b, n)
+	if tr := s.Tracer(); tr != nil {
+		tr.Emit(trace.Event{Time: start, Dur: d, Kind: trace.KindLink,
+			PE: int32(a.ID), VP: -1, Peer: int32(b.ID), Aux: w.Cluster.Tier(a, b), Bytes: n})
+	}
+	return start + d
 }
 
 // Allreduce models one allreduce of bytes per tree edge across every
@@ -216,16 +326,18 @@ func (w *FlatWorld) advance(t sim.Time) {
 // It drives the engine to completion and returns the virtual time at
 // which the last rank finished.
 func (w *FlatWorld) Allreduce(bytes uint64) (sim.Time, error) {
-	w.doneRanks = 0
+	for d := range w.doms {
+		w.doms[d].done = 0
+	}
 	w.collBytes = bytes
 	// Leaves complete their (empty) reduce subtree immediately; interior
 	// ranks complete as arrivals drain their pending count.
 	for vp := range w.ranks {
 		if w.ranks[vp].pending == 0 {
-			w.reduceComplete(&w.ranks[vp])
+			w.reduceComplete(w.eng, &w.ranks[vp])
 		}
 	}
-	err := w.Cluster.Engine.Run(func() bool { return w.doneRanks == len(w.ranks) })
+	err := w.eng.Run(func() bool { return w.doneRanks() == len(w.ranks) })
 	if err != nil {
 		return 0, fmt.Errorf("ampi: flat allreduce stalled: %w", err)
 	}
@@ -233,62 +345,65 @@ func (w *FlatWorld) Allreduce(bytes uint64) (sim.Time, error) {
 	for vp := range w.ranks {
 		w.ranks[vp].pending = int32(binomialChildCount(vp, len(w.ranks)))
 	}
-	return w.maxClock, nil
+	return w.Time(), nil
 }
 
 // reduceComplete fires when a rank has combined all child contributions:
 // it forwards the partial up one edge, or, at the root, turns the wave
 // around into the broadcast.
-func (w *FlatWorld) reduceComplete(r *flatRank) {
+func (w *FlatWorld) reduceComplete(s sim.Sched, r *flatRank) {
 	if r.parent < 0 {
-		w.bcastSend(r)
-		w.doneRanks++
-		w.advance(r.clock)
+		w.bcastSend(s, r)
+		w.dom(r).done++
+		w.advance(r, r.clock)
 		return
 	}
 	p := &w.ranks[r.parent]
 	depart := r.clock + w.Cluster.Cost.MsgSendOverhead
-	arrive := w.Cluster.Transfer(depart, w.pes[r.pe], w.pes[p.pe], w.collBytes)
+	arrive := w.transfer(s, depart, w.pes[r.pe], w.pes[p.pe], w.collBytes)
 	r.clock = depart
-	w.Cluster.Engine.AtCall(arrive, w.reduceFn, p)
+	s.AtCallIn(int(w.domOf[p.pe]), arrive, w.reduceFn, p)
 }
 
 // reduceArrive is the engine callback for one reduce edge landing at
-// the parent.
-func (w *FlatWorld) reduceArrive(arg any) {
+// the parent. It runs in the parent's domain and touches only the
+// parent's record.
+func (w *FlatWorld) reduceArrive(s sim.Sched, now sim.Time, arg any) {
 	p := arg.(*flatRank)
-	at := w.Cluster.Engine.Now() + w.Cluster.Cost.MsgRecvOverhead
+	at := now + w.Cluster.Cost.MsgRecvOverhead
 	if at > p.clock {
 		p.clock = at
 	}
 	if p.pending--; p.pending == 0 {
-		w.reduceComplete(p)
+		w.reduceComplete(s, p)
 	}
 }
 
 // bcastSend forwards the broadcast down the rank's tree edges. Sends
 // are sequential on the rank (as in the message-level path), so each
-// child's departure is one send overhead after the previous.
-func (w *FlatWorld) bcastSend(r *flatRank) {
+// child's departure is one send overhead after the previous. Children
+// may live in other domains: their home PE is immutable during the
+// collective, and the event is routed to the child's domain.
+func (w *FlatWorld) bcastSend(s sim.Sched, r *flatRank) {
 	rel := int(r.vp)
 	_, limit := binomialNode(rel, len(w.ranks))
 	for m := 1; m < limit && rel+m < len(w.ranks); m <<= 1 {
 		c := &w.ranks[rel+m]
 		r.clock += w.Cluster.Cost.MsgSendOverhead
-		arrive := w.Cluster.Transfer(r.clock, w.pes[r.pe], w.pes[c.pe], w.collBytes)
-		w.Cluster.Engine.AtCall(arrive, w.bcastFn, c)
+		arrive := w.transfer(s, r.clock, w.pes[r.pe], w.pes[c.pe], w.collBytes)
+		s.AtCallIn(int(w.domOf[c.pe]), arrive, w.bcastFn, c)
 	}
-	w.advance(r.clock)
+	w.advance(r, r.clock)
 }
 
 // bcastArrive is the engine callback for one broadcast edge landing at
 // a child: the rank now holds the result, forwards it on, and is done.
-func (w *FlatWorld) bcastArrive(arg any) {
+func (w *FlatWorld) bcastArrive(s sim.Sched, now sim.Time, arg any) {
 	c := arg.(*flatRank)
-	c.clock = w.Cluster.Engine.Now() + w.Cluster.Cost.MsgRecvOverhead
-	w.bcastSend(c)
-	w.doneRanks++
-	w.advance(c.clock)
+	c.clock = now + w.Cluster.Cost.MsgRecvOverhead
+	w.bcastSend(s, c)
+	w.dom(c).done++
+	w.advance(c, c.clock)
 }
 
 // MigrationStorm migrates every stride-th rank to the PE halfway across
@@ -304,9 +419,8 @@ func (w *FlatWorld) MigrationStorm(stride int) (sim.Time, error) {
 	}
 	cost := w.Cluster.Cost
 	bytes := w.PerRankBytes
-	start := w.maxClock
+	start := w.Time()
 	npes := len(w.pes)
-	inflight := 0
 	for vp := 0; vp < len(w.ranks); vp += stride {
 		r := &w.ranks[vp]
 		dst := (int(r.pe) + npes/2) % npes
@@ -314,27 +428,32 @@ func (w *FlatWorld) MigrationStorm(stride int) (sim.Time, error) {
 			continue
 		}
 		depart := start + cost.CopyTime(bytes)
-		arrive := w.Cluster.Transfer(depart, w.pes[r.pe], w.pes[dst], bytes)
+		arrive := w.transfer(w.eng, depart, w.pes[r.pe], w.pes[dst], bytes)
 		land := arrive + cost.CopyTime(bytes) + cost.MigrationOverhead
 		r.pe = int32(dst)
-		w.Cluster.Engine.AtCall(land, w.migrateFn, r)
-		inflight++
+		w.dom(r).pendingOp++
+		w.eng.AtCallIn(int(w.domOf[dst]), land, w.migrateFn, r)
 	}
-	w.pendingOp = inflight
-	err := w.Cluster.Engine.Run(func() bool { return w.pendingOp == 0 })
+	err := w.eng.Run(func() bool { return w.pendingOps() == 0 })
 	if err != nil {
 		return 0, fmt.Errorf("ampi: migration storm stalled: %w", err)
 	}
-	return w.maxClock, nil
+	for d := range w.doms {
+		w.Migrations += w.doms[d].migrations
+		w.MigratedBytes += w.doms[d].migratedBytes
+		w.doms[d].migrations, w.doms[d].migratedBytes = 0, 0
+	}
+	return w.Time(), nil
 }
 
 // migrateArrive is the engine callback for one migrated rank landing on
-// its destination PE.
-func (w *FlatWorld) migrateArrive(arg any) {
+// its destination PE. It runs in the destination's domain.
+func (w *FlatWorld) migrateArrive(s sim.Sched, now sim.Time, arg any) {
 	r := arg.(*flatRank)
-	r.clock = w.Cluster.Engine.Now()
-	w.advance(r.clock)
-	w.Migrations++
-	w.MigratedBytes += w.PerRankBytes
-	w.pendingOp--
+	r.clock = now
+	w.advance(r, r.clock)
+	d := w.dom(r)
+	d.migrations++
+	d.migratedBytes += w.PerRankBytes
+	d.pendingOp--
 }

@@ -1,6 +1,7 @@
 package ampi_test
 
 import (
+	"bytes"
 	"testing"
 
 	"provirt/internal/ampi"
@@ -113,5 +114,93 @@ func TestFlatWorldMillion(t *testing.T) {
 	}
 	if w.Migrations == 0 || w.MigratedBytes == 0 {
 		t.Fatalf("storm moved nothing: %d migrations, %d bytes", w.Migrations, w.MigratedBytes)
+	}
+}
+
+// flatRun captures everything a flat run produces that must be
+// byte-identical across engine implementations and worker counts.
+type flatRun struct {
+	allreduce, storm sim.Time
+	events           uint64
+	migrations       int
+	migratedBytes    uint64
+	traceJSONL       string
+}
+
+// runFlatAt runs allreduce + storm on the given machine shape with the
+// given SimWorkers, recording every trace kind (engine dispatch
+// included) and exporting it to canonical JSONL bytes.
+func runFlatAt(t *testing.T, mc machine.Config, vps, workers int) flatRun {
+	t.Helper()
+	rec := trace.NewRecorder(trace.AllKinds()...)
+	w, err := ampi.NewFlatWorld(ampi.FlatConfig{
+		Machine:    mc,
+		VPs:        vps,
+		Image:      flatImage(),
+		Tracer:     rec,
+		SimWorkers: workers,
+	})
+	if err != nil {
+		t.Fatalf("NewFlatWorld(workers=%d): %v", workers, err)
+	}
+	ar, err := w.Allreduce(8)
+	if err != nil {
+		t.Fatalf("Allreduce(workers=%d): %v", workers, err)
+	}
+	st, err := w.MigrationStorm(4)
+	if err != nil {
+		t.Fatalf("MigrationStorm(workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return flatRun{
+		allreduce:     ar,
+		storm:         st,
+		events:        w.EventsFired(),
+		migrations:    w.Migrations,
+		migratedBytes: w.MigratedBytes,
+		traceJSONL:    buf.String(),
+	}
+}
+
+// TestFlatWorldParallelByteIdentical is the PDES determinism gate: the
+// sharded ParallelEngine must reproduce the serial engine's results AND
+// trace bytes exactly, at any worker count, on both a one-node shape
+// (per-PE domains, shared-memory lookahead) and a multi-node shape
+// (per-node domains, inter-node lookahead).
+func TestFlatWorldParallelByteIdentical(t *testing.T) {
+	shapes := []struct {
+		name string
+		mc   machine.Config
+	}{
+		{"laptop-1x1x8", laptop()},
+		{"cluster-4x2x2", machine.Config{Nodes: 4, ProcsPerNode: 2, PEsPerProc: 2}},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			serial := runFlatAt(t, sh.mc, 2048, 0)
+			if serial.traceJSONL == "" {
+				t.Fatal("serial run produced no trace bytes")
+			}
+			for _, workers := range []int{1, 2, 8} {
+				par := runFlatAt(t, sh.mc, 2048, workers)
+				if par.allreduce != serial.allreduce || par.storm != serial.storm {
+					t.Fatalf("workers=%d: times diverged: allreduce %v vs %v, storm %v vs %v",
+						workers, par.allreduce, serial.allreduce, par.storm, serial.storm)
+				}
+				if par.events != serial.events || par.migrations != serial.migrations ||
+					par.migratedBytes != serial.migratedBytes {
+					t.Fatalf("workers=%d: counters diverged: events %d vs %d, migrations %d vs %d, bytes %d vs %d",
+						workers, par.events, serial.events, par.migrations, serial.migrations,
+						par.migratedBytes, serial.migratedBytes)
+				}
+				if par.traceJSONL != serial.traceJSONL {
+					t.Fatalf("workers=%d: trace bytes diverged (serial %d bytes, parallel %d bytes)",
+						workers, len(serial.traceJSONL), len(par.traceJSONL))
+				}
+			}
+		})
 	}
 }

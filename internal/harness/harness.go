@@ -43,6 +43,16 @@ type Opts struct {
 	// progress reporting. Progress observes the host runtime only:
 	// rows, tables, and traces are bit-identical with or without it.
 	Progress *obs.Progress
+	// SimWorkers is the intra-world event-loop parallelism: how many
+	// workers a single simulated world may spread its lookahead
+	// domains across (sim.ParallelEngine). Rows, tables, and traces
+	// are byte-identical at every setting — the conservative-window
+	// protocol fires events in the same (time, domain, seq) total
+	// order the serial engine uses. Only experiments on the flat
+	// world (scale) shard their event loop; the goroutine-world
+	// experiments form a single domain and run serial at any value.
+	// 0 or 1 keeps the serial engine.
+	SimWorkers int
 }
 
 // Workers resolves the effective sweep parallelism.

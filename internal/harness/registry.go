@@ -185,7 +185,7 @@ var registry = []Experiment{
 	{
 		Name:        "scale",
 		Description: "Million-VP scale: flat-world allreduce + migration storm with per-rank memory gauges",
-		Flags:       []string{"vps"},
+		Flags:       []string{"vps", "sim-workers"},
 		Traceable:   true,
 		TraceKeys:   []string{"vps"},
 		Run: func(r RunOpts) (Result, error) {

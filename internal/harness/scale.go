@@ -82,10 +82,11 @@ func ScaleExperiment(o Opts, vps int) ([]ScaleRow, *trace.Table, error) {
 	}
 	gauge := trace.NewMemGauge()
 	w, err := ampi.NewFlatWorld(ampi.FlatConfig{
-		Machine: machineShape(1, 1, 8),
-		VPs:     vps,
-		Image:   scaleImage(),
-		Tracer:  o.tracerFor(func(ts *TraceSel) bool { return ts.VPs == vps }),
+		Machine:    machineShape(1, 1, 8),
+		VPs:        vps,
+		Image:      scaleImage(),
+		Tracer:     o.tracerFor(func(ts *TraceSel) bool { return ts.VPs == vps }),
+		SimWorkers: o.SimWorkers,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("scale: %w", err)

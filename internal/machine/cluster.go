@@ -208,6 +208,52 @@ func (cl *Cluster) Processes() []*Process {
 	return out
 }
 
+// DomainPlan partitions the cluster's PEs into conservative-lookahead
+// domains for parallel simulation: domains follow the coarsest machine
+// tier with more than one unit — one domain per node on a multi-node
+// machine, else per process, else per PE — so the cheapest link that
+// can cross a domain boundary is as slow as the machine allows.
+// It returns the per-PE domain assignment (indexed by global PE id),
+// the domain count, and the lookahead bound: the minimum latency of
+// any cross-domain link. When the natural unit count exceeds
+// sim.MaxDomains, contiguous units share a domain; merging whole units
+// only removes boundaries, so the bound still holds.
+func (cl *Cluster) DomainPlan() (domOf []int32, ndom int, lookahead time.Duration) {
+	procs := cl.Processes()
+	// unitOf maps each PE to its partition unit at the chosen tier.
+	unitOf := make([]int, len(cl.pes))
+	var units int
+	switch {
+	case len(cl.Nodes) > 1:
+		units = len(cl.Nodes)
+		for i, pe := range cl.pes {
+			unitOf[i] = pe.Proc.Node.ID
+		}
+		lookahead = cl.Cost.MinLatencyAcross(false, false)
+	case len(procs) > 1:
+		units = len(procs)
+		for i, pe := range cl.pes {
+			unitOf[i] = pe.Proc.ID
+		}
+		lookahead = cl.Cost.MinLatencyAcross(true, false)
+	default:
+		units = len(cl.pes)
+		for i := range cl.pes {
+			unitOf[i] = i
+		}
+		lookahead = cl.Cost.MinLatencyAcross(true, true)
+	}
+	ndom = units
+	if ndom > sim.MaxDomains {
+		ndom = sim.MaxDomains
+	}
+	domOf = make([]int32, len(cl.pes))
+	for i, u := range unitOf {
+		domOf[i] = int32(u * ndom / units)
+	}
+	return domOf, ndom, lookahead
+}
+
 // TransferTime returns the network cost of moving n bytes from PE a to
 // PE b, picking the tier from their relative placement.
 func (cl *Cluster) TransferTime(a, b *PE, n uint64) time.Duration {

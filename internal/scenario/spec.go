@@ -106,6 +106,14 @@ type Spec struct {
 	StackSize uint64
 	// Tracer, if set, receives virtual-time events from every layer.
 	Tracer trace.Tracer
+	// SimWorkers requests intra-world parallel simulation (sharded
+	// event engine with conservative lookahead). Results and trace
+	// bytes are byte-identical at any value. Worlds that form a single
+	// lookahead domain — the goroutine world's shared schedulers and
+	// filesystem couple every PE — run serial regardless; the flat
+	// scale path shards. Negative values are invalid; 0 and 1 mean
+	// serial.
+	SimWorkers int
 }
 
 // FieldError is one problem with a Spec, tied to the field that
@@ -232,6 +240,9 @@ func (s *Spec) Validate() error {
 	if s.Placement != nil && len(s.Placement) != s.VPs {
 		add("Placement", "has %d entries, want one per VP (%d)", len(s.Placement), s.VPs)
 	}
+	if s.SimWorkers < 0 {
+		add("SimWorkers", "must be non-negative, got %d", s.SimWorkers)
+	}
 
 	// Environment requirements the resolved env cannot meet. Under
 	// EnvAdjust these are satisfied by construction; under EnvBridges2
@@ -288,6 +299,7 @@ func (s *Spec) Config() (ampi.Config, error) {
 		Checkpoint: s.Checkpoint,
 		Placement:  s.Placement,
 		Tracer:     s.Tracer,
+		SimWorkers: s.SimWorkers,
 	}, nil
 }
 

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"provirt/internal/obs"
+)
+
+// TestEngineCancelChurnReusesNodes drives the Cancel/compact
+// interaction under heavy churn: waves of mass cancellation must keep
+// the resident queue bounded through compaction, and every node a
+// cancelled or fired event releases must come back through the free
+// list rather than fresh allocation. The obs counters make both
+// observable without poking at internals from the outside — and since
+// a ParallelEngine shard is this same Engine, the guarantee carries
+// straight to the per-domain queues.
+func TestEngineCancelChurnReusesNodes(t *testing.T) {
+	r := obs.NewRegistry()
+	EnableObs(r)
+	defer EnableObs(nil)
+
+	e := NewEngine()
+	fired := 0
+	fn := func() { fired++ }
+
+	const waves, per = 40, 1000
+	evs := make([]Event, 0, per)
+	for w := 0; w < waves; w++ {
+		evs = evs[:0]
+		base := e.Now() + 1
+		for i := 0; i < per; i++ {
+			evs = append(evs, e.At(base+Time(i%37), fn))
+		}
+		// Cancel 90% — far past the dead*2 > len(queue) compaction
+		// threshold, so compact runs mid-wave.
+		for i, ev := range evs {
+			if i%10 != 0 {
+				ev.Cancel()
+			}
+		}
+		// Compaction keeps dead residents a minority of the queue.
+		if qlen := len(e.queue); e.dead*2 > qlen+1 {
+			t.Fatalf("wave %d: %d dead residents in a queue of %d — compact didn't run", w, e.dead, qlen)
+		}
+		e.Drain()
+		if len(e.queue) != 0 {
+			t.Fatalf("wave %d: %d residents after drain", w, len(e.queue))
+		}
+	}
+
+	if want := waves * per / 10; fired != want {
+		t.Fatalf("fired %d events, want %d", fired, want)
+	}
+	allocs := metrics.nodeAllocs.Value()
+	reuse := metrics.nodeReuse.Value()
+	// The first wave may allocate every node; after that the free list
+	// must carry the full load.
+	if allocs > per {
+		t.Fatalf("allocated %d nodes over %d waves — free list not reused (reuse=%d)", allocs, waves, reuse)
+	}
+	if want := uint64((waves - 1) * per); reuse < want {
+		t.Fatalf("reused %d nodes, want at least %d", reuse, want)
+	}
+	if got := metrics.dispatched.Value(); got != uint64(fired) {
+		t.Fatalf("sim_events_dispatched_total = %d, fired %d", got, fired)
+	}
+}
