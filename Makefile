@@ -9,7 +9,7 @@ BENCH_JSON ?= BENCH_8.json
 # with BENCH_THRESHOLD=1.2 when chasing a specific benchmark.
 BENCH_THRESHOLD ?= 1.5
 
-.PHONY: all build test bench bench-smoke bench-json bench-compare cover race race-full vet examples ci
+.PHONY: all build test bench bench-smoke bench-json bench-compare cover race race-full vet examples serve-smoke ci
 
 # Every example binary, smoke-run at reduced problem size.
 EXAMPLES := quickstart jacobi3d adcirc amr migration cloudrestart
@@ -33,9 +33,11 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime=1x -benchmem ./...
 
 # Machine-readable benchmark record: name -> ns/op, B/op, allocs/op.
-# Committed so benchmark movement shows up in diffs.
+# Committed so benchmark movement shows up in diffs. -strict refuses a
+# record with unparseable benchmark lines instead of committing a
+# silently truncated one.
 bench-json:
-	$(GO) test -run xxx -bench . -benchmem ./... | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	$(GO) test -run xxx -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -strict > $(BENCH_JSON)
 
 # Re-measure the full benchmark suite and diff against the committed
 # record; exits nonzero when any benchmark's ns/op or allocs/op grew
@@ -76,5 +78,11 @@ examples:
 		$(GO) run ./examples/$$ex -quick > /dev/null || exit 1; \
 	done
 
+# End-to-end check of the experiment server: boot `privbench -serve`,
+# POST the same tiny Spec twice, assert the second response is a cache
+# hit with byte-identical row payloads and exactly one simulation run.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 # Everything CI runs, in the same order (see .github/workflows/ci.yml).
-ci: vet build test examples bench-smoke race
+ci: vet build test examples bench-smoke serve-smoke race

@@ -11,7 +11,8 @@
 //
 // Convert mode emits a leading "_header" object carrying the count of
 // benchmark-looking lines that failed to parse, so a silently
-// truncated record is visible in review. Compare mode loads two
+// truncated record is visible in review; -strict turns that count into
+// a non-zero exit so CI refuses the record outright. Compare mode loads two
 // records (with or without the header), reports per-benchmark ns/op
 // and allocs/op ratios, and exits 1 when any ratio exceeds the
 // threshold — the advisory bench-compare CI job is built on it.
@@ -148,9 +149,11 @@ func gomaxprocsSuffix(name string) string {
 }
 
 // convert reads bench text from in and writes the JSON record to out.
-func convert(in io.Reader, out io.Writer) error {
+// It returns the number of benchmark-looking lines that failed to
+// parse — the same count the "_header" records — so callers (-strict)
+// can fail the run instead of just annotating the record.
+func convert(in io.Reader, out io.Writer) (parseErrors int, err error) {
 	results := make(map[string]Result)
-	parseErrors := 0
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -164,10 +167,10 @@ func convert(in io.Reader, out io.Writer) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return parseErrors, err
 	}
 	if len(results) == 0 {
-		return fmt.Errorf("no benchmark lines on stdin")
+		return parseErrors, fmt.Errorf("no benchmark lines on stdin")
 	}
 	// json.Marshal sorts map keys, so output is deterministic, but emit
 	// through an explicit ordered structure for indented readability.
@@ -181,13 +184,13 @@ func convert(in io.Reader, out io.Writer) error {
 	b.WriteString("{\n")
 	hdr, err := json.Marshal(header{ParseErrors: parseErrors, Results: len(results)})
 	if err != nil {
-		return err
+		return parseErrors, err
 	}
 	fmt.Fprintf(&b, "  %s: %s,\n", mustMarshal("_header"), hdr)
 	for i, n := range names {
 		enc, err := json.Marshal(results[n])
 		if err != nil {
-			return err
+			return parseErrors, err
 		}
 		fmt.Fprintf(&b, "  %s: %s", mustMarshal(n), enc)
 		if i < len(names)-1 {
@@ -197,7 +200,7 @@ func convert(in io.Reader, out io.Writer) error {
 	}
 	b.WriteString("}\n")
 	_, err = io.WriteString(out, b.String())
-	return err
+	return parseErrors, err
 }
 
 // loadRecord reads a BENCH_*.json file, skipping "_"-prefixed
@@ -368,6 +371,8 @@ func main() {
 		"compare two BENCH_*.json records given as positional args (old new) instead of converting stdin")
 	threshold := flag.Float64("threshold", 1.10,
 		"compare mode: flag a regression when ns/op or allocs/op grows by more than this factor")
+	strict := flag.Bool("strict", false,
+		"convert mode: exit non-zero when any benchmark-looking line fails to parse, instead of only recording the count in _header")
 	flag.Parse()
 
 	if *comparePair {
@@ -381,10 +386,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: convert mode reads stdin and takes no args (did you mean -compare?)")
 		os.Exit(2)
 	}
-	if err := convert(os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	os.Exit(runConvert(os.Stdin, os.Stdout, os.Stderr, *strict))
+}
+
+// runConvert runs convert mode and returns the process exit code.
+func runConvert(in io.Reader, out, errOut io.Writer, strict bool) int {
+	parseErrors, err := convert(in, out)
+	if err != nil {
+		fmt.Fprintf(errOut, "benchjson: %v\n", err)
+		return 1
 	}
+	if strict && parseErrors > 0 {
+		// The record was still written — the header marks it dirty — but
+		// a strict pipeline (CI) must not commit it silently.
+		fmt.Fprintf(errOut, "benchjson: -strict: %d benchmark line(s) failed to parse\n", parseErrors)
+		return 1
+	}
+	return 0
 }
 
 func mustMarshal(s string) string {

@@ -90,8 +90,14 @@ func TestConvertEmitsHeaderWithParseErrors(t *testing.T) {
 		"PASS",
 	}, "\n")
 	var out bytes.Buffer
-	if err := convert(strings.NewReader(in), &out); err != nil {
+	parseErrors, err := convert(strings.NewReader(in), &out)
+	if err != nil {
 		t.Fatal(err)
+	}
+	// The returned count is what -strict gates on; it must agree with
+	// the header the record carries.
+	if parseErrors != 1 {
+		t.Errorf("convert returned %d parse errors, want 1", parseErrors)
 	}
 	var doc map[string]json.RawMessage
 	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
@@ -107,6 +113,42 @@ func TestConvertEmitsHeaderWithParseErrors(t *testing.T) {
 	// The header leads the document so truncation is visible at the top.
 	if !strings.HasPrefix(out.String(), "{\n  \"_header\":") {
 		t.Errorf("header is not the first key:\n%s", out.String())
+	}
+}
+
+// Satellite: -strict turns a dirty record (parse errors in the
+// header) into a non-zero exit, while clean input stays 0 and lax
+// mode keeps the old always-0 behavior.
+func TestRunConvertStrictExitCodes(t *testing.T) {
+	dirty := strings.Join([]string{
+		"BenchmarkGood-8   	 100	  5000 ns/op",
+		"BenchmarkTruncated-8   	 100", // bad: no measurements
+	}, "\n")
+	clean := "BenchmarkGood-8   	 100	  5000 ns/op\n"
+
+	cases := []struct {
+		name   string
+		in     string
+		strict bool
+		want   int
+	}{
+		{"strict-dirty", dirty, true, 1},
+		{"strict-clean", clean, true, 0},
+		{"lax-dirty", dirty, false, 0},
+	}
+	for _, c := range cases {
+		var out, errOut bytes.Buffer
+		if got := runConvert(strings.NewReader(c.in), &out, &errOut, c.strict); got != c.want {
+			t.Errorf("%s: exit code %d, want %d (stderr: %s)", c.name, got, c.want, errOut.String())
+		}
+		// The record itself is always written, even on a strict failure —
+		// the exit code is the gate, not the output.
+		if !strings.Contains(out.String(), `"Good"`) {
+			t.Errorf("%s: record missing:\n%s", c.name, out.String())
+		}
+		if c.want == 1 && !strings.Contains(errOut.String(), "-strict") {
+			t.Errorf("%s: no -strict diagnostic on stderr", c.name)
+		}
 	}
 }
 
@@ -194,8 +236,12 @@ func TestCompareFlagsAllocRegression(t *testing.T) {
 func TestConvertThenLoadRoundTrip(t *testing.T) {
 	in := "BenchmarkRoundTrip-8   	 100	  5000 ns/op	 96 B/op	 2 allocs/op\n"
 	var out bytes.Buffer
-	if err := convert(strings.NewReader(in), &out); err != nil {
+	parseErrors, err := convert(strings.NewReader(in), &out)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if parseErrors != 0 {
+		t.Errorf("clean input reported %d parse errors", parseErrors)
 	}
 	path := writeRecord(t, t.TempDir(), "rt.json", out.String())
 	rec, err := loadRecord(path)

@@ -18,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -75,6 +74,14 @@ func main() {
 		"collect host-side runtime metrics and print the deterministic text snapshot after the experiments finish")
 	serveMetrics := flag.String("serve-metrics", "",
 		"serve live host metrics on this address (e.g. :9090) while experiments run: Prometheus /metrics, JSON /progress, and /debug/pprof; implies metric collection")
+	serveAddr := flag.String("serve", "",
+		"run the experiment server on this address (e.g. :8080) instead of a batch run: POST /v1/runs executes Spec sweeps with content-addressed result caching; also serves /v1/experiments and the -serve-metrics endpoints")
+	storeDir := flag.String("store", ".provirt-results",
+		"result store directory for -serve; entries are keyed by spec hash and partitioned by code version")
+	serveWorkers := flag.Int("serve-workers", 0,
+		"maximum concurrent simulations for -serve, across all requests (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 0,
+		"in-memory result index capacity for -serve (0 = the resultstore default; the disk store is unbounded)")
 	showVersion := flag.Bool("version", false, "print build and VCS information and exit")
 	flag.Parse()
 
@@ -84,6 +91,17 @@ func main() {
 	}
 	if *experiment == "list" {
 		listExperiments()
+		return
+	}
+	if *serveAddr != "" {
+		if *serveMetrics != "" {
+			fmt.Fprintf(os.Stderr, "privbench: -serve already includes the -serve-metrics endpoints; set only one\n")
+			os.Exit(2)
+		}
+		if err := runServer(*serveAddr, *storeDir, *serveWorkers, *cacheEntries); err != nil {
+			fmt.Fprintf(os.Stderr, "privbench: -serve: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -222,10 +240,18 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "privbench: serving /metrics, /progress, /debug/pprof on http://%s\n", ln.Addr())
+		// The metrics server rides alongside the batch run: on
+		// SIGINT/SIGTERM it drains in-flight scrapes, then the process
+		// exits — a half-written experiment has no value, so there is
+		// nothing else to wind down gracefully.
+		stop := shutdownSignal()
 		go func() {
-			if err := http.Serve(ln, obs.NewHandler(reg, prog)); err != nil {
+			if err := serveUntil(ln, obs.NewHandler(reg, prog), stop, shutdownTimeout); err != nil {
 				fmt.Fprintf(os.Stderr, "privbench: metrics server: %v\n", err)
 			}
+			<-stop
+			fmt.Fprintf(os.Stderr, "privbench: interrupted; metrics server drained\n")
+			os.Exit(130)
 		}()
 	}
 

@@ -46,6 +46,18 @@ type Runner struct {
 	// progress without its own locking. The hook observes the host
 	// runtime only; task results are unaffected by its presence.
 	OnPoint func(PointDone)
+	// Acquire/Release, if non-nil, bracket every task: Acquire is
+	// called (and must return) before the task runs, Release after it
+	// finishes, on the same goroutine. They exist for admission
+	// control when several Runners share one machine-wide execution
+	// budget — e.g. the experiment server bounds total concurrent
+	// simulations across requests by having every Runner block in
+	// Acquire on a shared semaphore. Workers still caps this Runner's
+	// own concurrency; the gate only tightens it. The measured Elapsed
+	// reported to OnPoint covers the task only, not the wait in
+	// Acquire.
+	Acquire func()
+	Release func()
 }
 
 // Default returns a runner sized to the machine.
@@ -69,18 +81,36 @@ func (r Runner) Run(n int, task func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	// run executes one task inside the admission gate; the elapsed
+	// time excludes the wait in Acquire, so per-point throughput
+	// metrics measure simulation, not queueing.
+	run := func(i int) (time.Duration, error) {
+		if r.Acquire != nil {
+			r.Acquire()
+		}
+		var began time.Time
+		if r.OnPoint != nil {
+			began = time.Now()
+		}
+		err := task(i)
+		var elapsed time.Duration
+		if r.OnPoint != nil {
+			elapsed = time.Since(began)
+		}
+		if r.Release != nil {
+			r.Release()
+		}
+		return elapsed, err
+	}
 	if workers <= 1 {
 		var first error
 		for i := 0; i < n; i++ {
-			var began time.Time
-			if r.OnPoint != nil {
-				began = time.Now()
-			}
-			if err := task(i); err != nil && first == nil {
+			elapsed, err := run(i)
+			if err != nil && first == nil {
 				first = err
 			}
 			if r.OnPoint != nil {
-				r.OnPoint(PointDone{Index: i, Done: i + 1, Total: n, Elapsed: time.Since(began)})
+				r.OnPoint(PointDone{Index: i, Done: i + 1, Total: n, Elapsed: elapsed})
 			}
 		}
 		return first
@@ -98,13 +128,9 @@ func (r Runner) Run(n int, task func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				var began time.Time
+				var elapsed time.Duration
+				elapsed, errs[i] = run(i)
 				if r.OnPoint != nil {
-					began = time.Now()
-				}
-				errs[i] = task(i)
-				if r.OnPoint != nil {
-					elapsed := time.Since(began)
 					progressMu.Lock()
 					done++
 					r.OnPoint(PointDone{Index: i, Worker: w, Done: done, Total: n, Elapsed: elapsed})

@@ -176,3 +176,57 @@ func TestOnPointDoesNotPerturbResults(t *testing.T) {
 		}
 	}
 }
+
+// The admission gate's contract: every task is bracketed by exactly
+// one Acquire/Release pair, and a gate backed by a shared semaphore
+// bounds concurrency below Workers — the experiment server's pattern
+// of many Runners sharing one machine-wide execution budget.
+func TestAcquireReleaseGateBoundsConcurrency(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		const n, slots = 30, 2
+		sem := make(chan struct{}, slots)
+		var acquired, released atomic.Int64
+		var running, peak atomic.Int64
+		r := Runner{
+			Workers: workers,
+			Acquire: func() { acquired.Add(1); sem <- struct{}{} },
+			Release: func() { <-sem; released.Add(1) },
+		}
+		err := r.Run(n, func(i int) error {
+			cur := running.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			running.Add(-1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if acquired.Load() != n || released.Load() != n {
+			t.Fatalf("workers=%d: %d acquires / %d releases, want %d each",
+				workers, acquired.Load(), released.Load(), n)
+		}
+		if peak.Load() > slots {
+			t.Fatalf("workers=%d: %d tasks ran concurrently past the %d-slot gate",
+				workers, peak.Load(), slots)
+		}
+	}
+}
+
+// Release runs even for failing tasks, so a shared semaphore can never
+// leak slots.
+func TestReleaseRunsOnTaskError(t *testing.T) {
+	var balance atomic.Int64
+	_ = Runner{
+		Workers: 4,
+		Acquire: func() { balance.Add(1) },
+		Release: func() { balance.Add(-1) },
+	}.Run(16, func(i int) error { return errors.New("boom") })
+	if balance.Load() != 0 {
+		t.Fatalf("acquire/release imbalance: %d", balance.Load())
+	}
+}

@@ -1,0 +1,30 @@
+package resultstore
+
+import "provirt/internal/obs"
+
+// Package-level instruments, nil (no-op) by default, following the obs
+// discipline: an un-instrumented store pays one pointer comparison per
+// hook site.
+var (
+	evictions *obs.Counter
+	corrupt   *obs.Counter
+)
+
+// EnableObs registers the store's instruments in r; EnableObs(nil)
+// restores the no-op state. Call between requests/runs — installation
+// is not synchronized with concurrent store use.
+func EnableObs(r *obs.Registry) {
+	if r == nil {
+		evictions, corrupt = nil, nil
+		return
+	}
+	evictions = r.Counter("resultstore_evictions_total",
+		"entries evicted from the in-memory LRU index (disk copies are kept)")
+	corrupt = r.Counter("resultstore_corrupt_skipped_total",
+		"on-disk entries skipped because the header, length, or checksum failed verification")
+}
+
+// Evictions and CorruptSkipped expose the counters for tests and
+// launchers that report cache health without scraping the registry.
+func Evictions() uint64      { return evictions.Value() }
+func CorruptSkipped() uint64 { return corrupt.Value() }

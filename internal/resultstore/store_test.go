@@ -1,0 +1,215 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"provirt/internal/obs"
+)
+
+func TestCodeVersionNonEmpty(t *testing.T) {
+	if CodeVersion() == "" {
+		t.Fatal("empty code version")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, "v1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"row":42}`)
+	if err := st.Put("pt", "abc123", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get("pt", "abc123")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("memory get: ok=%v payload=%q", ok, got)
+	}
+
+	// A fresh store over the same directory must hit disk.
+	st2, err := Open(dir, "v1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = st2.Get("pt", "abc123")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("disk get: ok=%v payload=%q", ok, got)
+	}
+
+	// No temp files left behind by the write-then-rename protocol.
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+			t.Errorf("orphaned temp file %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionPartitions(t *testing.T) {
+	dir := t.TempDir()
+	st1, _ := Open(dir, "v1", 8)
+	st2, _ := Open(dir, "v2", 8)
+	if err := st1.Put("pt", "k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Get("pt", "k"); ok {
+		t.Fatal("v2 store served a v1 result")
+	}
+}
+
+func TestKindPartitions(t *testing.T) {
+	st, _ := Open(t.TempDir(), "v1", 8)
+	if err := st.Put("pt", "k", []byte("point")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("run", "k"); ok {
+		t.Fatal("run namespace served a point result")
+	}
+}
+
+func TestMissOnAbsentIsNotCorrupt(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableObs(reg)
+	defer EnableObs(nil)
+	st, _ := Open(t.TempDir(), "v1", 8)
+	if _, ok := st.Get("pt", "nothere"); ok {
+		t.Fatal("hit on absent key")
+	}
+	if CorruptSkipped() != 0 {
+		t.Fatalf("plain miss counted as corruption: %d", CorruptSkipped())
+	}
+}
+
+// Satellite: a truncated or garbage entry on disk is skipped with a
+// counted metric, never a panic, and never served.
+func TestCorruptEntriesSkippedAndCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableObs(reg)
+	defer EnableObs(nil)
+
+	dir := t.TempDir()
+	st, err := Open(dir, "v1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"row":1}`)
+
+	corruptions := []struct {
+		name    string
+		mutate  func(path string) error
+	}{
+		{"garbage", func(p string) error { return os.WriteFile(p, []byte("not a result file"), 0o644) }},
+		{"empty", func(p string) error { return os.WriteFile(p, nil, 0o644) }},
+		{"truncated-payload", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, data[:len(data)-3], 0o644)
+		}},
+		{"flipped-byte", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			data[len(data)-1] ^= 0xff
+			return os.WriteFile(p, data, 0o644)
+		}},
+		{"header-only", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			nl := bytes.IndexByte(data, '\n')
+			return os.WriteFile(p, data[:nl+1], 0o644)
+		}},
+	}
+	for i, c := range corruptions {
+		hash := fmt.Sprintf("hash%d", i)
+		if err := st.Put("pt", hash, payload); err != nil {
+			t.Fatalf("%s: put: %v", c.name, err)
+		}
+		path := st.path("pt", hash)
+		if err := c.mutate(path); err != nil {
+			t.Fatalf("%s: mutate: %v", c.name, err)
+		}
+		// Fresh store so the memory index doesn't mask the disk state.
+		cold, err := Open(dir, "v1", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := CorruptSkipped()
+		got, ok := cold.Get("pt", hash)
+		if ok {
+			t.Errorf("%s: corrupt entry served: %q", c.name, got)
+		}
+		if CorruptSkipped() != before+1 {
+			t.Errorf("%s: corrupt counter %d, want %d", c.name, CorruptSkipped(), before+1)
+		}
+	}
+}
+
+func TestLRUEvictionCountsAndKeepsDisk(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableObs(reg)
+	defer EnableObs(nil)
+
+	st, err := Open(t.TempDir(), "v1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Put("pt", fmt.Sprintf("h%d", i), []byte(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 2 {
+		t.Fatalf("index length %d, want 2", st.Len())
+	}
+	if Evictions() != 1 {
+		t.Fatalf("evictions %d, want 1", Evictions())
+	}
+	// The evicted entry (h0, least recently used) reloads from disk.
+	got, ok := st.Get("pt", "h0")
+	if !ok || string(got) != "p0" {
+		t.Fatalf("evicted entry lost: ok=%v payload=%q", ok, got)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	st, err := Open(t.TempDir(), "v1", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				hash := fmt.Sprintf("h%d", (g+i)%24)
+				want := []byte("payload-" + hash)
+				if err := st.Put("pt", hash, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := st.Get("pt", hash); ok && !bytes.Equal(got, want) {
+					t.Errorf("got %q, want %q", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

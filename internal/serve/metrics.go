@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"provirt/internal/obs"
+	"provirt/internal/resultstore"
+)
+
+// Package-level instruments, nil (no-op) by default per the obs
+// discipline. The server is fully functional without them.
+var (
+	requests       *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	dedupJoins     *obs.Counter
+	pointsExecuted *obs.Counter
+	pointErrors    *obs.Counter
+	storePutErrors *obs.Counter
+	queueHighwater *obs.Gauge
+	requestLatency *obs.Histogram
+)
+
+// EnableObs registers the server's instruments in r (and the result
+// store's, since the two always deploy together); EnableObs(nil)
+// restores the no-op state. Call before serving traffic —
+// installation is not synchronized with concurrent requests.
+func EnableObs(r *obs.Registry) {
+	resultstore.EnableObs(r)
+	if r == nil {
+		requests, cacheHits, cacheMisses = nil, nil, nil
+		dedupJoins, pointsExecuted, pointErrors, storePutErrors = nil, nil, nil, nil
+		queueHighwater, requestLatency = nil, nil
+		return
+	}
+	requests = r.Counter("serve_requests_total",
+		"API requests received across all /v1 endpoints")
+	cacheHits = r.Counter("serve_cache_hits_total",
+		"points answered from the result store without executing")
+	cacheMisses = r.Counter("serve_cache_misses_total",
+		"points not found in the result store on arrival")
+	dedupJoins = r.Counter("serve_dedup_joins_total",
+		"points that joined an identical in-flight execution instead of starting one")
+	pointsExecuted = r.Counter("serve_points_executed_total",
+		"simulations actually executed (misses that were not deduped)")
+	pointErrors = r.Counter("serve_point_errors_total",
+		"point executions that returned an error")
+	storePutErrors = r.Counter("serve_store_put_errors_total",
+		"results computed but not persisted (store write failed)")
+	queueHighwater = r.Gauge("serve_queue_depth_highwater",
+		"deepest the execution admission queue has been (waiters plus runners)")
+	requestLatency = r.Histogram("serve_request_latency_us",
+		"wall time to serve POST /v1/runs, microseconds",
+		obs.ExpBuckets(100, 4, 12), obs.Volatile())
+}
+
+// Accessors for tests and launchers reporting cache effectiveness
+// without scraping the registry.
+func CacheHits() uint64      { return cacheHits.Value() }
+func CacheMisses() uint64    { return cacheMisses.Value() }
+func DedupJoins() uint64     { return dedupJoins.Value() }
+func PointsExecuted() uint64 { return pointsExecuted.Value() }

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"provirt/internal/ampi"
+	"provirt/internal/scenario"
+)
+
+// Row is the stored result of one executed point: the same world-level
+// aggregates the batch experiments report, in a stable wire shape. A
+// Row is marshaled once at execution time and served verbatim ever
+// after, so its JSON — not this struct — is the compatibility surface.
+type Row struct {
+	Workload string `json:"workload"`
+	Method   string `json:"method"`
+	VPs      int    `json:"vps"`
+	Nodes    int    `json:"nodes"`
+
+	// SetupNs is the virtual time privatization setup completed;
+	// FinishNs the engine clock when the world went idle. Both are
+	// simulated nanoseconds — deterministic, never host time.
+	SetupNs  int64 `json:"setup_ns"`
+	FinishNs int64 `json:"finish_ns"`
+
+	Migrations         int    `json:"migrations"`
+	MigratedBytes      uint64 `json:"migrated_bytes"`
+	MigratedDeltaBytes uint64 `json:"migrated_delta_bytes"`
+	SkippedBalances    int    `json:"skipped_balances"`
+	Checkpoints        int    `json:"checkpoints"`
+}
+
+func rowFor(sp *scenario.Spec, w *ampi.World) Row {
+	return Row{
+		Workload:           sp.Workload,
+		Method:             sp.Method.String(),
+		VPs:                sp.VPs,
+		Nodes:              sp.Machine.Nodes,
+		SetupNs:            int64(w.SetupDone),
+		FinishNs:           int64(w.Cluster.Engine.Now()),
+		Migrations:         w.Migrations,
+		MigratedBytes:      w.MigratedBytes,
+		MigratedDeltaBytes: w.MigratedDeltaBytes,
+		SkippedBalances:    w.SkippedBalances,
+		Checkpoints:        w.Checkpoints,
+	}
+}

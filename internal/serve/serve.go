@@ -1,0 +1,513 @@
+// Package serve turns the batch experiment harness into a long-running
+// service: an HTTP/JSON API that accepts declarative scenario.Spec
+// documents, executes them on a bounded worker pool, and caches every
+// result content-addressed in a resultstore.
+//
+// The design leans entirely on determinism: a run is a pure function
+// of its Spec, so Spec.Hash plus the code version fully identifies the
+// output. That makes three things cheap that are usually hard:
+//
+//   - Caching: a repeated Spec is served from the store byte-for-byte,
+//     no simulation executed.
+//   - Deduplication: identical in-flight Specs collapse
+//     singleflight-style onto one execution; joiners wait for the
+//     leader's result instead of queueing duplicate work.
+//   - Incremental sweeps: a request is a list of points, each hashed
+//     independently, so editing one point of a sweep re-runs exactly
+//     the changed point.
+//
+// Endpoints:
+//
+//	POST /v1/runs          {"points":[Spec,...]} or {"spec":Spec};
+//	                       streams NDJSON — a header line, one line per
+//	                       point (in index order, written as soon as
+//	                       the point and all before it are done), and a
+//	                       trailer. Invalid Specs get a structured 400
+//	                       carrying scenario.ValidationError fields.
+//	GET  /v1/runs/{hash}   replays a completed run from the store.
+//	GET  /v1/experiments   lists the harness experiment registry and
+//	                       the workload registry with example Specs.
+//
+// Concurrency discipline (after the Go optimistic-concurrency study's
+// lock-usage findings): the server's mutex guards only the in-flight
+// map; simulation, marshaling, and store I/O all happen outside it.
+// Total concurrent simulations across all requests are bounded by a
+// semaphore threaded through sweep.Runner's admission gate.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"provirt/internal/harness"
+	"provirt/internal/harness/sweep"
+	"provirt/internal/resultstore"
+	"provirt/internal/scenario"
+)
+
+// Limits on one request: a sweep larger than MaxPoints or a body past
+// MaxBodyBytes is rejected up front with a 400/413 instead of queueing
+// unbounded work.
+const (
+	MaxPoints    = 4096
+	MaxBodyBytes = 8 << 20
+)
+
+// Server executes and caches Spec runs.
+type Server struct {
+	store   *resultstore.Store
+	version string
+	workers int
+
+	sem    chan struct{}
+	queued atomic.Int64
+
+	// mu guards only inflight; everything else is channels/atomics.
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+// flight is one in-progress point execution; joiners block on done and
+// read payload/err after it closes.
+type flight struct {
+	done    chan struct{}
+	payload []byte
+	err     error
+}
+
+// New returns a server over the store. workers bounds concurrent
+// simulations across all requests (<= 0 selects GOMAXPROCS); version
+// is reported in responses (pass resultstore.CodeVersion()).
+func New(store *resultstore.Store, version string, workers int) *Server {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		store:    store,
+		version:  version,
+		workers:  workers,
+		sem:      make(chan struct{}, workers),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Handler mounts the /v1 API. fallback, if non-nil, serves every
+// other path — cmd/privbench passes the obs metrics handler so one
+// listener serves both the API and /metrics, /progress, /debug/pprof.
+func (s *Server) Handler(fallback http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handlePostRuns)
+	mux.HandleFunc("GET /v1/runs/{hash}", s.handleGetRun)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	if fallback != nil {
+		mux.Handle("/", fallback)
+	}
+	return mux
+}
+
+// --- request/response documents ---
+
+// runRequest is the POST /v1/runs body. "points" is a sweep; "spec"
+// is shorthand for a one-point sweep. Exactly one must be set.
+type runRequest struct {
+	Points []scenario.Spec `json:"points,omitempty"`
+	Spec   *scenario.Spec  `json:"spec,omitempty"`
+}
+
+// fieldError mirrors scenario.FieldError on the wire.
+type fieldError struct {
+	Field string `json:"field"`
+	Msg   string `json:"msg"`
+}
+
+// errorDoc is every non-streaming error body.
+type errorDoc struct {
+	Error string `json:"error"`
+	// Point is the index of the offending sweep point, when one is
+	// identifiable.
+	Point *int `json:"point,omitempty"`
+	// Fields carries scenario.ValidationError's per-field problems.
+	Fields []fieldError `json:"fields,omitempty"`
+}
+
+// headerLine opens every run stream.
+type headerLine struct {
+	Run     string `json:"run"`
+	Points  int    `json:"points"`
+	Version string `json:"version"`
+}
+
+// pointLine reports one completed point. Row is the stored payload
+// verbatim, so identical Specs yield byte-identical row payloads
+// whether computed or cached; Cached is response metadata and lives
+// outside Row on purpose.
+type pointLine struct {
+	Index  int             `json:"index"`
+	Hash   string          `json:"hash"`
+	Cached bool            `json:"cached"`
+	Row    json.RawMessage `json:"row,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// trailerLine closes the stream with the request's cache accounting.
+type trailerLine struct {
+	Done     bool `json:"done"`
+	Cached   int  `json:"cached"`
+	Executed int  `json:"executed"`
+	Deduped  int  `json:"deduped"`
+	Failed   int  `json:"failed"`
+}
+
+// runManifest is the stored record of a completed run: the point
+// hashes (rows live under their own keys) plus the Specs for
+// inspection.
+type runManifest struct {
+	Points []string          `json:"points"`
+	Specs  []json.RawMessage `json:"specs"`
+}
+
+func writeError(w http.ResponseWriter, status int, doc errorDoc) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(doc)
+}
+
+// --- POST /v1/runs ---
+
+func (s *Server) handlePostRuns(w http.ResponseWriter, r *http.Request) {
+	began := time.Now()
+	requests.Inc()
+	defer func() {
+		requestLatency.Observe(uint64(time.Since(began).Microseconds()))
+	}()
+
+	var req runRequest
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	points := req.Points
+	switch {
+	case req.Spec != nil && len(points) > 0:
+		writeError(w, http.StatusBadRequest, errorDoc{Error: `"spec" and "points" are mutually exclusive`})
+		return
+	case req.Spec != nil:
+		points = []scenario.Spec{*req.Spec}
+	case len(points) == 0:
+		writeError(w, http.StatusBadRequest, errorDoc{Error: `body needs "points" (a sweep) or "spec" (one point)`})
+		return
+	case len(points) > MaxPoints:
+		writeError(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("sweep has %d points, limit %d", len(points), MaxPoints)})
+		return
+	}
+
+	// Validate and hash every point before any work starts, so a bad
+	// sweep is rejected whole with the offending point named.
+	hashes := make([]string, len(points))
+	for i := range points {
+		i := i
+		if err := points[i].Validate(); err != nil {
+			doc := errorDoc{Error: "invalid spec", Point: &i}
+			var verr *scenario.ValidationError
+			if errors.As(err, &verr) {
+				for _, fe := range verr.Errs {
+					doc.Fields = append(doc.Fields, fieldError{Field: fe.Field, Msg: fe.Msg})
+				}
+			} else {
+				doc.Error = err.Error()
+			}
+			writeError(w, http.StatusBadRequest, doc)
+			return
+		}
+		if points[i].Workload == "" {
+			// Valid for Config(), but the server has no program to inject.
+			writeError(w, http.StatusBadRequest, errorDoc{
+				Error: "invalid spec", Point: &i,
+				Fields: []fieldError{{Field: "Workload", Msg: "server runs need a registered workload"}},
+			})
+			return
+		}
+		h, err := points[i].Hash()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errorDoc{Error: err.Error(), Point: &i})
+			return
+		}
+		hashes[i] = h
+	}
+	runHash := runHashOf(hashes)
+
+	// Resolve each point: cached rows are ready now; the rest either
+	// join an in-flight execution or become its leader. Leaders run on
+	// the shared bounded pool in the background while this handler
+	// streams results in index order.
+	type resolution struct {
+		cached  bool
+		joined  bool
+		flight  *flight
+		payload []byte
+	}
+	res := make([]resolution, len(points))
+	var leaders []int
+	for i, h := range hashes {
+		if p, ok := s.store.Get("pt", h); ok {
+			cacheHits.Inc()
+			res[i] = resolution{cached: true, payload: p}
+			continue
+		}
+		cacheMisses.Inc()
+		f, leader := s.claim(h)
+		res[i] = resolution{joined: !leader, flight: f}
+		if leader {
+			leaders = append(leaders, i)
+		} else {
+			dedupJoins.Inc()
+		}
+	}
+	if len(leaders) > 0 {
+		flights := make([]*flight, len(leaders))
+		for j, i := range leaders {
+			flights[j] = res[i].flight
+		}
+		go s.runLeaders(points, hashes, flights, leaders)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	writeLine := func(v any) {
+		_ = enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeLine(headerLine{Run: runHash, Points: len(points), Version: s.version})
+
+	var trailer trailerLine
+	trailer.Done = true
+	for i := range points {
+		line := pointLine{Index: i, Hash: hashes[i]}
+		switch {
+		case res[i].cached:
+			trailer.Cached++
+			line.Cached = true
+			line.Row = res[i].payload
+		default:
+			f := res[i].flight
+			<-f.done
+			if res[i].joined {
+				trailer.Deduped++
+			} else {
+				trailer.Executed++
+			}
+			if f.err != nil {
+				trailer.Failed++
+				pointErrors.Inc()
+				line.Error = f.err.Error()
+			} else {
+				line.Row = f.payload
+			}
+		}
+		writeLine(line)
+	}
+	if trailer.Failed == 0 {
+		s.putManifest(runHash, hashes, points)
+	}
+	writeLine(trailer)
+}
+
+// claim registers interest in a point hash: the first caller becomes
+// the leader (responsible for executing and completing the flight),
+// later callers join. Critical section is map access only.
+func (s *Server) claim(hash string) (f *flight, leader bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.inflight[hash]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	s.inflight[hash] = f
+	return f, true
+}
+
+// runLeaders executes this request's leader points on the shared
+// bounded pool. The sweep Runner fans them out; its admission gate is
+// the server-wide semaphore, so total concurrent simulations across
+// every request never exceed the pool size. leaders holds the point
+// indices; flights the matching claimed flights, in the same order.
+func (s *Server) runLeaders(points []scenario.Spec, hashes []string, flights []*flight, leaders []int) {
+	r := sweep.Runner{
+		Workers: s.workers,
+		Acquire: s.acquireSlot,
+		Release: s.releaseSlot,
+	}
+	_ = r.Run(len(leaders), func(j int) error {
+		i := leaders[j]
+		f := flights[j]
+		f.payload, f.err = s.executePoint(hashes[i], points[i])
+		s.mu.Lock()
+		delete(s.inflight, hashes[i])
+		s.mu.Unlock()
+		close(f.done)
+		return nil
+	})
+}
+
+// acquireSlot blocks until a pool slot frees, recording how deep the
+// admission queue got (waiters plus runners).
+func (s *Server) acquireSlot() {
+	queueHighwater.SetMax(s.queued.Add(1))
+	s.sem <- struct{}{}
+}
+
+func (s *Server) releaseSlot() {
+	<-s.sem
+	s.queued.Add(-1)
+}
+
+// executePoint runs one Spec and stores its row. The leader re-checks
+// the store first: a flight that finished between this request's
+// store probe and its claim already persisted the row.
+func (s *Server) executePoint(hash string, sp scenario.Spec) ([]byte, error) {
+	if p, ok := s.store.Get("pt", hash); ok {
+		cacheHits.Inc()
+		return p, nil
+	}
+	pointsExecuted.Inc()
+	w, err := sp.Run()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(rowFor(&sp, w))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.store.Put("pt", hash, payload); err != nil {
+		// The row is still good; the next identical request just
+		// re-executes. Count it — a persistently failing store turns
+		// the cache off silently otherwise.
+		storePutErrors.Inc()
+	}
+	return payload, nil
+}
+
+// putManifest persists the run-level record that lets GET
+// /v1/runs/{hash} replay the whole sweep.
+func (s *Server) putManifest(runHash string, hashes []string, points []scenario.Spec) {
+	m := runManifest{Points: hashes, Specs: make([]json.RawMessage, len(points))}
+	for i := range points {
+		doc, err := json.Marshal(points[i])
+		if err != nil {
+			return // unreachable for wire-decoded Specs; skip the manifest
+		}
+		m.Specs[i] = doc
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	if err := s.store.Put("run", runHash, payload); err != nil {
+		storePutErrors.Inc()
+	}
+}
+
+// runHashOf derives the run's content address from its point hashes.
+// The leading tag keeps run and point addresses from ever colliding
+// even though they also live in separate store namespaces.
+func runHashOf(pointHashes []string) string {
+	h := sha256.New()
+	h.Write([]byte("provirt-run 1\n"))
+	for _, p := range pointHashes {
+		h.Write([]byte(p))
+		h.Write([]byte("\n"))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// --- GET /v1/runs/{hash} ---
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	requests.Inc()
+	hash := r.PathValue("hash")
+	payload, ok := s.store.Get("run", hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, errorDoc{Error: "unknown run (not computed under this code version, or never completed)"})
+		return
+	}
+	var m runManifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		writeError(w, http.StatusInternalServerError, errorDoc{Error: "stored manifest unreadable"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(headerLine{Run: hash, Points: len(m.Points), Version: s.version})
+	trailer := trailerLine{Done: true}
+	for i, ph := range m.Points {
+		line := pointLine{Index: i, Hash: ph, Cached: true}
+		if row, ok := s.store.Get("pt", ph); ok {
+			cacheHits.Inc()
+			trailer.Cached++
+			line.Row = row
+		} else {
+			// The point row was lost (corrupt file); the run is listed
+			// but this point must be re-POSTed.
+			trailer.Failed++
+			line.Cached = false
+			line.Error = "row missing from store; re-POST the spec to recompute"
+		}
+		_ = enc.Encode(line)
+	}
+	_ = enc.Encode(trailer)
+}
+
+// --- GET /v1/experiments ---
+
+// experimentDoc describes one harness registry entry.
+type experimentDoc struct {
+	Name        string   `json:"name"`
+	Aliases     []string `json:"aliases,omitempty"`
+	Description string   `json:"description"`
+	Flags       []string `json:"flags,omitempty"`
+	Traceable   bool     `json:"traceable,omitempty"`
+	TraceKeys   []string `json:"trace_keys,omitempty"`
+}
+
+// workloadDoc describes one registered workload plus a ready-to-POST
+// example Spec.
+type workloadDoc struct {
+	Name        string        `json:"name"`
+	Description string        `json:"description"`
+	DefaultSpec scenario.Spec `json:"default_spec"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	requests.Inc()
+	var out struct {
+		Version     string          `json:"version"`
+		Experiments []experimentDoc `json:"experiments"`
+		Workloads   []workloadDoc   `json:"workloads"`
+	}
+	out.Version = s.version
+	for _, e := range harness.Experiments() {
+		out.Experiments = append(out.Experiments, experimentDoc{
+			Name: e.Name, Aliases: e.Aliases, Description: e.Description,
+			Flags: e.Flags, Traceable: e.Traceable, TraceKeys: e.TraceKeys,
+		})
+	}
+	for _, wl := range scenario.Workloads() {
+		out.Workloads = append(out.Workloads, workloadDoc{
+			Name: wl.Name, Description: wl.Description, DefaultSpec: scenario.DefaultSpec(wl.Name),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}

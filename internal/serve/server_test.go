@@ -1,0 +1,400 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"provirt/internal/obs"
+	"provirt/internal/resultstore"
+	"provirt/internal/scenario"
+)
+
+// newTestServer boots a server over a fresh store with obs installed.
+func newTestServer(t *testing.T, workers int) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	EnableObs(reg)
+	t.Cleanup(func() { EnableObs(nil) })
+	store, err := resultstore.Open(t.TempDir(), "test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(store, "test", workers)
+	ts := httptest.NewServer(s.Handler(nil))
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// tinySpec is the fastest runnable point: the empty workload
+// (init/finalize only) at a handful of VPs.
+func tinySpec(vps int) scenario.Spec {
+	sp := scenario.DefaultSpec("empty")
+	sp.VPs = vps
+	return sp
+}
+
+func postRuns(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	doc, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/runs", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// parseStream splits an NDJSON response into header, point lines, and
+// trailer, checking the framing invariants along the way.
+func parseStream(t *testing.T, data []byte) (headerLine, []pointLine, trailerLine) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []json.RawMessage
+	for sc.Scan() {
+		lines = append(lines, append(json.RawMessage(nil), sc.Bytes()...))
+	}
+	if len(lines) < 2 {
+		t.Fatalf("stream has %d lines, want >= 2: %s", len(lines), data)
+	}
+	var hdr headerLine
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		t.Fatalf("header: %v in %s", err, lines[0])
+	}
+	var trailer trailerLine
+	if err := json.Unmarshal(lines[len(lines)-1], &trailer); err != nil || !trailer.Done {
+		t.Fatalf("trailer: err=%v done=%v in %s", err, trailer.Done, lines[len(lines)-1])
+	}
+	var points []pointLine
+	for i, raw := range lines[1 : len(lines)-1] {
+		var p pointLine
+		if err := json.Unmarshal(raw, &p); err != nil {
+			t.Fatalf("point: %v in %s", err, raw)
+		}
+		if p.Index != i {
+			t.Fatalf("point %d arrived at position %d: stream must be in index order", p.Index, i)
+		}
+		points = append(points, p)
+	}
+	if len(points) != hdr.Points {
+		t.Fatalf("header promises %d points, stream has %d", hdr.Points, len(points))
+	}
+	return hdr, points, trailer
+}
+
+// The headline tentpole contract: the same Spec POSTed twice returns
+// byte-identical row payloads, the second served from cache — hit
+// counter up, executed counter unchanged.
+func TestSecondPostIsByteIdenticalCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+	body := map[string]any{"points": []scenario.Spec{tinySpec(4)}}
+
+	resp, data := postRuns(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: %d %s", resp.StatusCode, data)
+	}
+	_, pts1, tr1 := parseStream(t, data)
+	if tr1.Executed != 1 || tr1.Cached != 0 || pts1[0].Cached {
+		t.Fatalf("first POST should execute: %+v", tr1)
+	}
+	if len(pts1[0].Row) == 0 {
+		t.Fatal("first POST returned no row")
+	}
+	executedAfterFirst := PointsExecuted()
+	hitsAfterFirst := CacheHits()
+
+	resp, data = postRuns(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second POST: %d %s", resp.StatusCode, data)
+	}
+	_, pts2, tr2 := parseStream(t, data)
+	if tr2.Cached != 1 || tr2.Executed != 0 || !pts2[0].Cached {
+		t.Fatalf("second POST should be a cache hit: %+v", tr2)
+	}
+	if !bytes.Equal(pts1[0].Row, pts2[0].Row) {
+		t.Fatalf("row payloads differ:\n first=%s\nsecond=%s", pts1[0].Row, pts2[0].Row)
+	}
+	if PointsExecuted() != executedAfterFirst {
+		t.Fatalf("second POST executed a simulation: %d -> %d", executedAfterFirst, PointsExecuted())
+	}
+	if CacheHits() <= hitsAfterFirst {
+		t.Fatal("cache hit counter did not increment")
+	}
+
+	var row Row
+	if err := json.Unmarshal(pts1[0].Row, &row); err != nil {
+		t.Fatalf("row payload not a Row: %v", err)
+	}
+	if row.Workload != "empty" || row.VPs != 4 || row.FinishNs <= 0 {
+		t.Fatalf("implausible row: %+v", row)
+	}
+}
+
+// N concurrent identical POSTs collapse onto one execution.
+func TestConcurrentIdenticalPostsExecuteOnce(t *testing.T) {
+	_, ts := newTestServer(t, 4)
+	body, _ := json.Marshal(map[string]any{"points": []scenario.Spec{tinySpec(6)}})
+
+	const n = 8
+	payloads := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[g] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			payloads[g], errs[g] = io.ReadAll(resp.Body)
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", g, err)
+		}
+	}
+	if got := PointsExecuted(); got != 1 {
+		t.Fatalf("%d concurrent identical POSTs executed %d simulations, want 1", n, got)
+	}
+	// Every response carries the same row bytes, whether it led,
+	// joined, or hit the cache.
+	_, pts0, _ := parseStream(t, payloads[0])
+	for g := 1; g < n; g++ {
+		_, pts, _ := parseStream(t, payloads[g])
+		if !bytes.Equal(pts0[0].Row, pts[0].Row) {
+			t.Fatalf("request %d row differs from request 0", g)
+		}
+	}
+	if CacheHits()+DedupJoins() < n-1 {
+		t.Fatalf("hits=%d joins=%d: the other %d requests neither hit nor joined",
+			CacheHits(), DedupJoins(), n-1)
+	}
+}
+
+// Editing a sweep re-runs only the changed point.
+func TestEditedSweepRerunsOnlyChangedPoint(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+	a, b := tinySpec(4), tinySpec(8)
+
+	resp, data := postRuns(t, ts.URL, map[string]any{"points": []scenario.Spec{a}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST [A]: %d %s", resp.StatusCode, data)
+	}
+	if got := PointsExecuted(); got != 1 {
+		t.Fatalf("POST [A] executed %d, want 1", got)
+	}
+
+	resp, data = postRuns(t, ts.URL, map[string]any{"points": []scenario.Spec{a, b}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST [A,B]: %d %s", resp.StatusCode, data)
+	}
+	_, pts, tr := parseStream(t, data)
+	if got := PointsExecuted(); got != 2 {
+		t.Fatalf("POST [A,B] executed %d total, want 2 (only B is new)", got)
+	}
+	if !pts[0].Cached || pts[1].Cached {
+		t.Fatalf("want A cached and B executed, got A.cached=%v B.cached=%v", pts[0].Cached, pts[1].Cached)
+	}
+	if tr.Cached != 1 || tr.Executed != 1 {
+		t.Fatalf("trailer %+v, want cached=1 executed=1", tr)
+	}
+}
+
+func TestValidationErrorsAreStructured400s(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	bad := tinySpec(4)
+	bad.VPs = -3
+	resp, data := postRuns(t, ts.URL, map[string]any{"points": []scenario.Spec{tinySpec(4), bad}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+	}
+	var doc errorDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("400 body not JSON: %v in %s", err, data)
+	}
+	if doc.Point == nil || *doc.Point != 1 {
+		t.Fatalf("400 should name point 1: %+v", doc)
+	}
+	found := false
+	for _, f := range doc.Fields {
+		if f.Field == "VPs" && f.Msg != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("400 fields missing VPs: %+v", doc.Fields)
+	}
+	if PointsExecuted() != 0 {
+		t.Fatal("invalid sweep still executed points")
+	}
+}
+
+func TestUnknownFieldIs400(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	body := `{"points":[{"workload":"empty","vps":4,"virtual_processors":4}]}`
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestEmptyAndAmbiguousBodiesAre400(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	for _, body := range []string{
+		`{}`,
+		`{"points":[],"spec":null}`,
+		fmt.Sprintf(`{"spec":{"workload":"empty","vps":2},"points":[{"workload":"empty","vps":2}]}`),
+	} {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestSpecShorthand(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	resp, data := postRuns(t, ts.URL, map[string]any{"spec": tinySpec(2)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	_, pts, _ := parseStream(t, data)
+	if len(pts) != 1 || len(pts[0].Row) == 0 {
+		t.Fatalf("shorthand spec did not produce one row: %+v", pts)
+	}
+}
+
+func TestGetRunReplaysCompletedSweep(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+	resp, data := postRuns(t, ts.URL, map[string]any{"points": []scenario.Spec{tinySpec(4), tinySpec(8)}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d %s", resp.StatusCode, data)
+	}
+	hdr, pts, _ := parseStream(t, data)
+	if hdr.Run == "" {
+		t.Fatal("no run hash in header")
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/runs/" + hdr.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("GET run: %d %s", resp2.StatusCode, replay)
+	}
+	hdr2, pts2, tr2 := parseStream(t, replay)
+	if hdr2.Run != hdr.Run || len(pts2) != len(pts) {
+		t.Fatalf("replay mismatch: %+v vs %+v", hdr2, hdr)
+	}
+	for i := range pts {
+		if !pts2[i].Cached {
+			t.Fatalf("replay point %d not cached", i)
+		}
+		if !bytes.Equal(pts[i].Row, pts2[i].Row) {
+			t.Fatalf("replay point %d rows differ", i)
+		}
+	}
+	if tr2.Cached != len(pts) || tr2.Executed != 0 {
+		t.Fatalf("replay trailer %+v", tr2)
+	}
+
+	resp3, err := http.Get(ts.URL + "/v1/runs/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run: %d, want 404", resp3.StatusCode)
+	}
+}
+
+func TestExperimentsEndpointListsRegistries(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var doc struct {
+		Version     string          `json:"version"`
+		Experiments []experimentDoc `json:"experiments"`
+		Workloads   []workloadDoc   `json:"workloads"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != "test" || len(doc.Experiments) == 0 || len(doc.Workloads) == 0 {
+		t.Fatalf("thin registry listing: version=%q experiments=%d workloads=%d",
+			doc.Version, len(doc.Experiments), len(doc.Workloads))
+	}
+	// Every advertised example Spec must be POSTable: valid and
+	// declarative (hashing it exercises the canonical encoder).
+	for _, wl := range doc.Workloads {
+		if err := wl.DefaultSpec.Validate(); err != nil {
+			t.Errorf("workload %s: default spec invalid: %v", wl.Name, err)
+		}
+		if _, err := wl.DefaultSpec.Hash(); err != nil {
+			t.Errorf("workload %s: default spec unhashable: %v", wl.Name, err)
+		}
+	}
+}
+
+// Workload is required for server runs even though Validate alone
+// accepts its absence (Config-only Specs exist for other callers).
+func TestMissingWorkloadIs400(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"points":[{"vps":4}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}

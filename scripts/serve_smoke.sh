@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# serve_smoke: boot `privbench -serve`, POST the same tiny Spec twice,
+# and assert the second response is a cache hit with byte-identical row
+# payloads and no second simulation. This is the end-to-end check of
+# the content-addressed result path: canonical Spec hashing, the
+# resultstore round trip, and the server's cache/dedup accounting —
+# through a real TCP listener instead of httptest.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${SERVE_SMOKE_ADDR:-127.0.0.1:18091}"
+WORKDIR="$(mktemp -d)"
+LOG="$WORKDIR/serve.log"
+SERVER_PID=""
+
+cleanup() {
+    if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        # SIGTERM exercises the graceful-shutdown path on every run.
+        kill -TERM "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "---- server log ----" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+echo "== build"
+go build -o "$WORKDIR/privbench" ./cmd/privbench
+
+echo "== start server on $ADDR (store: $WORKDIR/store)"
+"$WORKDIR/privbench" -serve "$ADDR" -store "$WORKDIR/store" >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -sf "http://$ADDR/v1/experiments" >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before accepting connections"
+    sleep 0.1
+done
+curl -sf "http://$ADDR/v1/experiments" >/dev/null || fail "server never came up"
+
+# The tiny fig5-style point: the empty workload (init/finalize only).
+SPEC='{"points":[{"workload":"empty","vps":4,"machine":{"nodes":2,"procs_per_node":1,"pes_per_proc":1},"method":"pieglobals"}]}'
+
+echo "== first POST (expect an execution)"
+curl -sf -X POST -H 'Content-Type: application/json' -d "$SPEC" \
+    "http://$ADDR/v1/runs" >"$WORKDIR/first.ndjson" || fail "first POST failed"
+
+echo "== second POST (expect a cache hit)"
+curl -sf -X POST -H 'Content-Type: application/json' -d "$SPEC" \
+    "http://$ADDR/v1/runs" >"$WORKDIR/second.ndjson" || fail "second POST failed"
+
+# Point lines carry `"cached":...` response metadata next to the row
+# payload; strip everything up to the row to compare stored bytes only.
+point_row() { grep '"row"' "$1" | sed 's/.*"row"://; s/}$//'; }
+trailer()   { grep '"done":true' "$1"; }
+
+ROW1="$(point_row "$WORKDIR/first.ndjson")"
+ROW2="$(point_row "$WORKDIR/second.ndjson")"
+[[ -n "$ROW1" ]] || fail "first response has no row: $(cat "$WORKDIR/first.ndjson")"
+[[ "$ROW1" == "$ROW2" ]] || fail "row payloads differ:
+  first:  $ROW1
+  second: $ROW2"
+
+trailer "$WORKDIR/first.ndjson" | grep -q '"executed":1' \
+    || fail "first POST did not execute: $(trailer "$WORKDIR/first.ndjson")"
+trailer "$WORKDIR/second.ndjson" | grep -q '"cached":1' \
+    || fail "second POST was not a cache hit: $(trailer "$WORKDIR/second.ndjson")"
+trailer "$WORKDIR/second.ndjson" | grep -q '"executed":0' \
+    || fail "second POST re-executed: $(trailer "$WORKDIR/second.ndjson")"
+
+# Cross-check with the server's own metrics: exactly one simulation
+# ever ran, and the cache hit was counted.
+METRICS="$(curl -sf "http://$ADDR/metrics")" || fail "metrics scrape failed"
+echo "$METRICS" | grep -q '^serve_points_executed_total 1$' \
+    || fail "serve_points_executed_total != 1: $(echo "$METRICS" | grep serve_ || true)"
+echo "$METRICS" | grep -q '^serve_cache_hits_total [1-9]' \
+    || fail "no cache hits counted: $(echo "$METRICS" | grep serve_ || true)"
+
+echo "== graceful shutdown"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero after SIGTERM"
+SERVER_PID=""
+
+echo "serve-smoke: OK (row payload byte-identical, second POST cached, 1 simulation total)"
