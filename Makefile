@@ -2,7 +2,7 @@ GO ?= go
 
 # Which committed benchmark record bench-json refreshes, and what
 # bench-compare diffs a fresh run against.
-BENCH_JSON ?= BENCH_8.json
+BENCH_JSON ?= BENCH_10.json
 
 # Regression factor for bench-compare: flag growth past 1.5x. Ordinary
 # run-to-run noise on a quiet machine stays well under that; tighten
@@ -58,10 +58,12 @@ cover:
 
 # The sweep runner, the per-world pools, and the parallel event loop
 # (sim.ParallelEngine's window workers) are the code that runs under
-# parallelism; race-check the packages that exercise them (the ft
-# supervisor runs inside ftsweep's parallel fan-out).
+# parallelism; race-check the packages that exercise them (the ft and
+# elastic supervisors run inside the parallel sweep fan-outs, and
+# machine/lb carry the membership-epoch and rebalance state those
+# supervisors mutate between attempts).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/harness/... ./internal/ampi/... ./internal/ft/...
+	$(GO) test -race ./internal/sim/... ./internal/harness/... ./internal/ampi/... ./internal/ft/... ./internal/machine/... ./internal/lb/...
 
 # Full race sweep over every package, as CI's race job runs it.
 race-full:

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,11 +45,39 @@ type Result struct {
 }
 
 // header is the "_header" entry emitted ahead of the results. Loaders
-// (including compare mode here) skip every "_"-prefixed key, so
-// records from before the header existed still load.
+// (including compare mode here) skip every "_"-prefixed key when
+// reading results, so records from before the header existed still
+// load.
 type header struct {
 	ParseErrors int `json:"parse_errors"`
 	Results     int `json:"results"`
+	// CodeVersion is the VCS revision stamped into the converting
+	// binary (empty when built without VCS info, e.g. `go run` in a
+	// non-repo); compare mode prints each record's revision so a diff
+	// between records from different commits is labeled as such.
+	CodeVersion string `json:"code_version,omitempty"`
+}
+
+// codeVersion reads the build's vcs.revision (suffixed "-dirty" when
+// the working tree was modified) from the binary's build info.
+func codeVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" && modified == "true" {
+		rev += "-dirty"
+	}
+	return rev
 }
 
 func allDigits(s string) bool {
@@ -182,7 +211,7 @@ func convert(in io.Reader, out io.Writer) (parseErrors int, err error) {
 	sort.Strings(names)
 	var b strings.Builder
 	b.WriteString("{\n")
-	hdr, err := json.Marshal(header{ParseErrors: parseErrors, Results: len(results)})
+	hdr, err := json.Marshal(header{ParseErrors: parseErrors, Results: len(results), CodeVersion: codeVersion()})
 	if err != nil {
 		return parseErrors, err
 	}
@@ -204,16 +233,23 @@ func convert(in io.Reader, out io.Writer) (parseErrors int, err error) {
 }
 
 // loadRecord reads a BENCH_*.json file, skipping "_"-prefixed
-// metadata keys so both header-carrying and older header-less records
-// load.
-func loadRecord(path string) (map[string]Result, error) {
+// metadata keys when collecting results so both header-carrying and
+// older header-less records load; the header itself (zero-valued when
+// absent) is returned alongside for provenance reporting.
+func loadRecord(path string) (map[string]Result, header, error) {
+	var hdr header
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, hdr, err
 	}
 	var raw map[string]json.RawMessage
 	if err := json.Unmarshal(data, &raw); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, hdr, fmt.Errorf("%s: %w", path, err)
+	}
+	if msg, ok := raw["_header"]; ok {
+		// A malformed header only loses provenance labels; the results
+		// still compare.
+		_ = json.Unmarshal(msg, &hdr)
 	}
 	out := make(map[string]Result, len(raw))
 	for name, msg := range raw {
@@ -222,11 +258,11 @@ func loadRecord(path string) (map[string]Result, error) {
 		}
 		var r Result
 		if err := json.Unmarshal(msg, &r); err != nil {
-			return nil, fmt.Errorf("%s: %q: %w", path, name, err)
+			return nil, hdr, fmt.Errorf("%s: %q: %w", path, name, err)
 		}
 		out[name] = r
 	}
-	return out, nil
+	return out, hdr, nil
 }
 
 // delta is one benchmark's old/new comparison.
@@ -323,18 +359,28 @@ func compare(oldPath, newPath string, threshold float64, out, errOut io.Writer) 
 		fmt.Fprintf(errOut, "benchjson: -threshold must be > 1 (got %g)\n", threshold)
 		return 2
 	}
-	old, err := loadRecord(oldPath)
+	old, oldHdr, err := loadRecord(oldPath)
 	if err != nil {
 		fmt.Fprintf(errOut, "benchjson: %v\n", err)
 		return 2
 	}
-	new, err := loadRecord(newPath)
+	new, newHdr, err := loadRecord(newPath)
 	if err != nil {
 		fmt.Fprintf(errOut, "benchjson: %v\n", err)
 		return 2
 	}
 	regressions, improvements, added, removed := compareRecords(old, new, threshold)
 	fmt.Fprintf(out, "benchjson compare: %s -> %s (threshold %.2fx)\n", oldPath, newPath, threshold)
+	// Label each record's code version so a cross-commit diff (the
+	// committed record vs a working-tree rerun) reads as one.
+	for _, f := range []struct {
+		path string
+		hdr  header
+	}{{oldPath, oldHdr}, {newPath, newHdr}} {
+		if f.hdr.CodeVersion != "" {
+			fmt.Fprintf(out, "  %s: code %s\n", f.path, f.hdr.CodeVersion)
+		}
+	}
 	for _, d := range regressions {
 		fmt.Fprintf(out, "  REGRESSION %s: %.0f -> %.0f ns/op (%.2fx)", d.name, d.nsOld, d.nsNew, d.nsRatio)
 		if d.allocRatio > threshold {

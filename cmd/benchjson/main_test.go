@@ -169,7 +169,7 @@ func TestLoadRecordSkipsMetadataKeys(t *testing.T) {
   "_header": {"parse_errors": 0, "results": 1},
   "Foo": {"iterations": 10, "ns_per_op": 123}
 }`)
-	rec, err := loadRecord(path)
+	rec, _, err := loadRecord(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestConvertThenLoadRoundTrip(t *testing.T) {
 		t.Errorf("clean input reported %d parse errors", parseErrors)
 	}
 	path := writeRecord(t, t.TempDir(), "rt.json", out.String())
-	rec, err := loadRecord(path)
+	rec, _, err := loadRecord(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,5 +294,41 @@ func TestCompareDiffsCustomMetrics(t *testing.T) {
 	out.Reset()
 	if code := compare(old, new, 1.6, &out, &errOut); code != 0 {
 		t.Fatalf("exit code %d with generous threshold, want 0\n%s", code, out.String())
+	}
+}
+
+// Satellite: compare mode labels each record with the code version its
+// header carries, and stays silent for records without one (pre-header
+// files, or builds without VCS stamping).
+func TestCompareReportsCodeVersion(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeRecord(t, dir, "old.json", `{
+  "_header": {"parse_errors": 0, "results": 1, "code_version": "abc123"},
+  "Foo": {"iterations": 10, "ns_per_op": 100}
+}`)
+	newPath := writeRecord(t, dir, "new.json", `{
+  "_header": {"parse_errors": 0, "results": 1, "code_version": "def456-dirty"},
+  "Foo": {"iterations": 10, "ns_per_op": 100}
+}`)
+	var out, errOut bytes.Buffer
+	if code := compare(oldPath, newPath, 1.5, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "old.json: code abc123") {
+		t.Errorf("old record's code version not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "new.json: code def456-dirty") {
+		t.Errorf("new record's code version not reported:\n%s", out.String())
+	}
+
+	barePath := writeRecord(t, dir, "bare.json", `{
+  "Foo": {"iterations": 10, "ns_per_op": 100}
+}`)
+	out.Reset()
+	if code := compare(barePath, barePath, 1.5, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "code ") {
+		t.Errorf("header-less record grew a code label:\n%s", out.String())
 	}
 }

@@ -44,6 +44,11 @@ func main() {
 	coresFlag := flag.String("cores", "1,2,4,8,16,32,64", "core counts for table2/fig9")
 	mtbfFlag := flag.String("mtbf", "",
 		"comma-separated MTBF durations for ftsweep (e.g. 120ms,480ms); empty uses the default list")
+	churnRate := flag.Duration("churn-rate", 0,
+		"mean gap between spot evictions for the elastic experiment; nonzero replaces the default regime list with one custom regime")
+	churnNotice := flag.Duration("churn-notice", 120*time.Millisecond,
+		"eviction notice window for -churn-rate (0 = every reclaim degrades into a crash)")
+	churnSeed := flag.Uint64("churn-seed", 20, "churn sampler seed for -churn-rate")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker goroutines for experiment sweeps; each simulation stays single-threaded and seeded, so output is identical at any setting (1 = serial)")
 	simWorkers := flag.Int("sim-workers", 0,
@@ -67,7 +72,9 @@ func main() {
 	traceMTBF := flag.Duration("trace-mtbf", 120*time.Millisecond,
 		"MTBF of the ftsweep point to trace")
 	traceTarget := flag.String("trace-target", "fs",
-		"checkpoint target of the ftsweep point to trace: fs or buddy")
+		"checkpoint target of the ftsweep/elastic point to trace: fs or buddy")
+	traceChurn := flag.String("trace-churn", "spot-busy",
+		"churn regime name of the elastic point to trace (custom when -churn-rate is set)")
 	profileRanks := flag.Bool("profile-ranks", false,
 		"print per-rank and per-PE virtual-time utilization profiles with a critical-path summary for the traced sweep point")
 	showMetrics := flag.Bool("metrics", false,
@@ -202,6 +209,7 @@ func main() {
 			MTBF:   sim.Time(*traceMTBF),
 			Target: target,
 			VPs:    scaleVPs,
+			Churn:  *traceChurn,
 		}
 		if *traceWindow > 0 {
 			// Windowed tracing streams events to disk as they fire, so a
@@ -261,6 +269,11 @@ func main() {
 		Cores:    cores,
 		MTBFs:    mtbfs,
 		ScaleVPs: *vps,
+	}
+	if *churnRate > 0 {
+		ropts.Elastic = []harness.ElasticRegime{
+			harness.CustomChurnRegime(*churnSeed, sim.Time(*churnRate), sim.Time(*churnNotice)),
+		}
 	}
 	for _, e := range selected {
 		res, err := e.Run(ropts)

@@ -12,6 +12,12 @@
 // uninterrupted run exactly. The restarted phase is declared as a
 // scenario.Spec whose Restart field carries the snapshot.
 //
+// Phase 3 replays the same story hands-free: the elastic supervisor
+// (ft.RunElastic) receives the reclaim as a churn event with a notice
+// window, drains the job through a checkpoint at the next consistency
+// point, shrinks the machine onto the surviving node, and restarts
+// from the snapshot — zero rework, node-hours accounted.
+//
 // Run with: go run ./examples/cloudrestart [-quick]
 package main
 
@@ -19,12 +25,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"provirt/internal/ampi"
 	"provirt/internal/core"
 	"provirt/internal/elf"
+	"provirt/internal/ft"
 	"provirt/internal/machine"
 	"provirt/internal/scenario"
+	"provirt/internal/sim"
 	"provirt/internal/trace"
 )
 
@@ -57,6 +66,28 @@ func program(interrupt bool, totalIters, ckptAt int, finals []uint64) *ampi.Prog
 						return // the job is torn down here
 					}
 				}
+			}
+			r.Barrier()
+			finals[r.Rank()] = ctx.Load("local_sum")
+		},
+	}
+}
+
+// elasticProgram is the same solve written for supervision: it offers
+// the runtime a checkpoint at every iteration boundary
+// (CheckpointIfDue — a no-op until a policy arms it), which is also
+// what lets the elastic supervisor drain the job on demand.
+func elasticProgram(totalIters int, finals []uint64) *ampi.Program {
+	return &ampi.Program{
+		Image: image(),
+		Main: func(r *ampi.Rank) {
+			ctx := r.Ctx()
+			for int(ctx.Load("iter")) < totalIters {
+				it := ctx.Load("iter")
+				ctx.Store("local_sum", ctx.Load("local_sum")+(it+1)*uint64(r.Rank()+1))
+				ctx.Store("iter", it+1)
+				r.Compute(50_000)
+				r.CheckpointIfDue()
 			}
 			r.Barrier()
 			finals[r.Rank()] = ctx.Load("local_sum")
@@ -125,4 +156,50 @@ func main() {
 		trace.FormatBytes(int64(ck.Bytes)))
 	fmt.Printf("  restarted job: startup %s, execution %s\n",
 		trace.FormatDuration(w2.SetupDone), trace.FormatDuration(w2.ExecutionTime()))
+
+	// Phase 3: the same reclaim, handled by the elastic supervisor.
+	// The spot market gives node 1 a generous notice; the supervisor
+	// drains the job through a checkpoint, shrinks onto node 0's PEs,
+	// and restarts from the snapshot — no hand-written phases.
+	fmt.Printf("phase 3: supervised elastic run — node 1 reclaimed with notice, supervisor drains and shrinks\n")
+	sp3 := scenario.Spec{
+		Machine: machine.Config{Nodes: 2, ProcsPerNode: 1, PEsPerProc: 4},
+		VPs:     vps,
+		Method:  core.KindPIEglobals,
+	}
+	cfg3, err := sp3.Config()
+	if err != nil {
+		log.Fatalf("cloudrestart: %v", err)
+	}
+	cfg3.Checkpoint = &ampi.CheckpointPolicy{
+		Target:   ampi.TargetFS,
+		Dir:      "/scratch/cloud-elastic",
+		Interval: 200 * sim.Time(time.Microsecond),
+	}
+	finals3 := make([]uint64, vps)
+	rep, err := ft.RunElastic(ft.ElasticJob{
+		Config:  cfg3,
+		Program: func() *ampi.Program { return elasticProgram(totalIters, finals3) },
+		Churn: ft.ChurnPlan{Events: []ft.ChurnEvent{{
+			Kind:   ft.Eviction,
+			At:     sim.Time(500 * time.Microsecond),
+			Node:   1,
+			Notice: sim.Time(250 * time.Millisecond),
+		}}},
+		Recovery: ft.Shrink,
+	})
+	if err != nil {
+		log.Fatalf("cloudrestart: elastic: %v", err)
+	}
+	for vp, got := range finals3 {
+		if got != expected(vp, totalIters) {
+			log.Fatalf("cloudrestart: elastic rank %d finished with %d, want %d — lost work!", vp, got, expected(vp, totalIters))
+		}
+	}
+	for _, rz := range rep.Resizes {
+		fmt.Printf("  epoch: %s at t=%s -> %d node(s), drained=%v, rework=%s\n",
+			rz.Kind, trace.FormatDuration(rz.At), rz.Nodes, rz.Drained, trace.FormatDuration(rz.Rework))
+	}
+	fmt.Printf("  answers again exact across %d attempt(s); time-to-solution %s, %s node-hours\n",
+		rep.Attempts, trace.FormatDuration(rep.TotalTime), machine.FormatNodeHours(rep.NodeSeconds))
 }

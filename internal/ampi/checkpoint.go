@@ -1,12 +1,20 @@
 package ampi
 
 import (
+	"errors"
 	"fmt"
 
 	"provirt/internal/core"
 	"provirt/internal/sim"
 	"provirt/internal/trace"
 )
+
+// ErrSnapshotLost reports that a restart's snapshot no longer exists
+// anywhere: an in-memory (buddy) checkpoint's surviving copies left
+// with nodes that have since departed, before a fresh snapshot could
+// replace them. Supervisors that see this can only restart the job
+// from the beginning. Filesystem snapshots never produce it.
+var ErrSnapshotLost = errors.New("snapshot lost with the nodes that held it")
 
 // CheckpointTarget selects where snapshots live.
 type CheckpointTarget int
@@ -146,7 +154,12 @@ func (w *World) runCheckpoint(target CheckpointTarget, dir string, ifDue bool) {
 	waiting := w.ckptWaiting
 	w.ckptWaiting = nil
 
-	if ifDue && sync-w.lastCkptAt < w.Cfg.Checkpoint.Interval {
+	// A pending reconfiguration (ScheduleReconfigure) drains through
+	// this consistency point: the snapshot is forced even if the policy
+	// interval has not elapsed, and the ranks are not resumed.
+	drain := w.reconfigPending
+
+	if ifDue && !drain && sync-w.lastCkptAt < w.Cfg.Checkpoint.Interval {
 		// Not due yet: the gather still synchronizes the ranks (they
 		// all resume at the slowest clock), but no snapshot is taken.
 		w.ckptDecision = false
@@ -199,9 +212,17 @@ func (w *World) runCheckpoint(target CheckpointTarget, dir string, ifDue bool) {
 		if done > ck.Taken {
 			ck.Taken = done
 		}
-		w.wakeAt(r, done)
+		if !drain {
+			w.wakeAt(r, done)
+		}
 	}
 	w.lastCheckpoint = ck
+	if drain {
+		// The ranks stay suspended: once the slowest payload is safe the
+		// world stops with a *Reconfigure error so the supervisor can
+		// rebuild it on the new cluster shape from this snapshot.
+		w.Cluster.Engine.At(ck.Taken, func() { w.drainWorld(ck, sync) })
+	}
 }
 
 func checkpointPath(dir string, vp int) string {
@@ -312,7 +333,7 @@ func (w *World) restoreFromBuddy(ck *Checkpoint, vpPE []int, byVP map[int]*core.
 		return fmt.Errorf("ampi: buddy checkpoint records no cluster shape")
 	}
 	if ck.LostNode >= 0 && ck.Nodes < 2 {
-		return fmt.Errorf("ampi: buddy checkpoint on a 1-node cluster cannot survive losing node %d", ck.LostNode)
+		return fmt.Errorf("ampi: buddy checkpoint on a 1-node cluster cannot survive losing node %d: %w", ck.LostNode, ErrSnapshotLost)
 	}
 	// Map a node id from the snapshot's cluster onto this cluster. A
 	// shrunk restart (one fewer node) drops the lost node's id and
@@ -324,8 +345,8 @@ func (w *World) restoreFromBuddy(ck *Checkpoint, vpPE []int, byVP map[int]*core.
 			id = old - 1
 		}
 		if id < 0 || id >= len(w.Cluster.Nodes) {
-			return 0, fmt.Errorf("ampi: buddy restore: snapshot node %d has no counterpart on this %d-node cluster",
-				old, len(w.Cluster.Nodes))
+			return 0, fmt.Errorf("ampi: buddy restore: snapshot node %d has no counterpart on this %d-node cluster: %w",
+				old, len(w.Cluster.Nodes), ErrSnapshotLost)
 		}
 		return id, nil
 	}

@@ -446,6 +446,81 @@ func (w *FlatWorld) MigrationStorm(stride int) (sim.Time, error) {
 	return w.Time(), nil
 }
 
+// ExpandStorm grows the machine by nodes fresh nodes at the current
+// world clock and rebalances onto them: the cluster logs a membership
+// epoch, the block placement is recomputed over the widened PE set,
+// and every rank whose home changed migrates there — the flat path
+// models an expansion as a migration storm onto the arrivals' homes,
+// which is exactly what the message-level runtime does one rank at a
+// time. Costs follow the storm path (serialize + wire + deserialize +
+// overhead per moved rank).
+//
+// The lookahead domain count is fixed at construction (a parallel
+// engine cannot grow mid-run), so arriving PEs are folded into the
+// existing domains round-robin by node: cross-domain traffic still
+// crosses nodes, preserving the conservative horizon.
+func (w *FlatWorld) ExpandStorm(nodes int) (sim.Time, error) {
+	if nodes <= 0 {
+		return 0, fmt.Errorf("ampi: expand needs a positive node count, got %d", nodes)
+	}
+	at := w.Time()
+	added, err := w.Cluster.AddNodes(at, nodes)
+	if err != nil {
+		return 0, err
+	}
+	ndom := len(w.doms)
+	for _, n := range added {
+		d := int32(n.ID % ndom)
+		for _, p := range n.Procs {
+			for range p.PEs {
+				w.domOf = append(w.domOf, d)
+			}
+		}
+	}
+	w.pes = w.Cluster.PEs()
+	if w.tracer != nil {
+		w.tracer.Emit(trace.Event{Time: at, Kind: trace.KindEpoch, PE: -1, VP: -1,
+			Peer: int32(len(w.Cluster.LiveNodes(at))), Aux: trace.EpochAdd, Bytes: uint64(nodes)})
+	}
+
+	// Rebalance: the block placement over the widened PE set; ranks
+	// whose home moved storm over, all departing at the epoch instant.
+	cost := w.Cluster.Cost
+	bytes := w.PerRankBytes
+	npes := len(w.pes)
+	for vp := range w.ranks {
+		r := &w.ranks[vp]
+		dst := vp * npes / len(w.ranks)
+		if dst == int(r.pe) {
+			continue
+		}
+		depart := at + cost.CopyTime(bytes)
+		arrive := w.transfer(w.eng, depart, w.pes[r.pe], w.pes[dst], bytes)
+		land := arrive + cost.CopyTime(bytes) + cost.MigrationOverhead
+		r.pe = int32(dst)
+		w.dom(r).pendingOp++
+		w.eng.AtCallIn(int(w.domOf[dst]), land, w.migrateFn, r)
+	}
+	if err := w.eng.Run(func() bool { return w.pendingOps() == 0 }); err != nil {
+		return 0, fmt.Errorf("ampi: expand storm stalled: %w", err)
+	}
+	for d := range w.doms {
+		w.Migrations += w.doms[d].migrations
+		w.MigratedBytes += w.doms[d].migratedBytes
+		w.doms[d].migrations, w.doms[d].migratedBytes = 0, 0
+	}
+	// The expansion is a collective (every rank re-evaluates its home):
+	// all ranks resume together once the last mover lands, which also
+	// keeps later collectives from scheduling behind the engine clock.
+	end := w.Time()
+	for vp := range w.ranks {
+		if w.ranks[vp].clock < end {
+			w.ranks[vp].clock = end
+		}
+	}
+	return end, nil
+}
+
 // migrateArrive is the engine callback for one migrated rank landing on
 // its destination PE. It runs in the destination's domain.
 func (w *FlatWorld) migrateArrive(s sim.Sched, now sim.Time, arg any) {

@@ -155,6 +155,13 @@ type World struct {
 	runtimeErr     error
 	failure        *NodeFailure
 
+	// reconfigPending arms a graceful drain (see ScheduleReconfigure):
+	// the next CheckpointIfDue snapshots unconditionally and stops the
+	// world with a *Reconfigure error. reconfigAt is when the drain
+	// was requested.
+	reconfigPending bool
+	reconfigAt      sim.Time
+
 	// Scratch pools (see pool.go). Per-world, engine-thread-only.
 	bufFree [][]float64
 	msgFree []*message

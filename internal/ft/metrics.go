@@ -19,6 +19,17 @@ type obsMetrics struct {
 	reworkNS *obs.Counter
 	// restoredBytes accumulates snapshot volume restarts read back.
 	restoredBytes *obs.Counter
+	// epochs counts cluster membership transitions elastic supervisors
+	// executed (arrivals + evictions + autoscale resizes); drains
+	// counts the graceful drain checkpoints taken ahead of planned
+	// departures.
+	epochs *obs.Counter
+	drains *obs.Counter
+	// rebalanceMoves counts ranks the expand/shrink placements moved.
+	rebalanceMoves *obs.Counter
+	// nodeSeconds gauges the virtual node-seconds the most recent
+	// elastic job consumed — the cost axis of the elastic experiment.
+	nodeSeconds *obs.Gauge
 }
 
 var metrics obsMetrics
@@ -40,5 +51,13 @@ func EnableObs(r *obs.Registry) {
 			"virtual nanoseconds of work lost to crashes (rework)"),
 		restoredBytes: r.Counter("ft_restored_bytes_total",
 			"checkpoint bytes restarts read back"),
+		epochs: r.Counter("ft_membership_epochs_total",
+			"cluster membership transitions elastic supervisors executed"),
+		drains: r.Counter("ft_drain_checkpoints_total",
+			"graceful drain checkpoints taken ahead of planned departures"),
+		rebalanceMoves: r.Counter("ft_rebalance_moves_total",
+			"ranks moved by expand/shrink placement recomputation"),
+		nodeSeconds: r.Gauge("ft_elastic_node_seconds",
+			"virtual node-seconds consumed by the most recent elastic job"),
 	}
 }

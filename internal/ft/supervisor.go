@@ -22,17 +22,38 @@ const (
 	// the malleable-job recovery virtualized ranks make possible
 	// (§2.1): the rank count never changes, only where ranks live.
 	Shrink
+	// Expand recovers bigger: the failed node is replaced by a spare
+	// and the restart machine additionally grows by one node, with
+	// GreedyRefineLB rebalancing onto the arrivals — the "make up lost
+	// time with more hardware" policy elastic clouds allow.
+	Expand
 )
 
-// String names the mode ("spare", "shrink").
+// String names the mode ("spare", "shrink", "expand").
 func (m RecoveryMode) String() string {
 	switch m {
 	case Spare:
 		return "spare"
 	case Shrink:
 		return "shrink"
+	case Expand:
+		return "expand"
 	default:
-		return fmt.Sprintf("RecoveryMode(%d)", int(m))
+		return fmt.Sprintf("unknown(%d)", int(m))
+	}
+}
+
+// ParseRecoveryMode inverts String for the named modes.
+func ParseRecoveryMode(s string) (RecoveryMode, error) {
+	switch s {
+	case "spare":
+		return Spare, nil
+	case "shrink":
+		return Shrink, nil
+	case "expand":
+		return Expand, nil
+	default:
+		return 0, fmt.Errorf("ft: unknown recovery mode %q", s)
 	}
 }
 
@@ -81,8 +102,10 @@ type RecoveryRecord struct {
 	// RestoredBytes is the snapshot volume the restart read back.
 	RestoredBytes uint64
 	// Shrunk reports whether this recovery dropped the failed node
-	// instead of using a spare.
-	Shrunk bool
+	// instead of using a spare; Expanded whether it grew the machine
+	// past the original shape.
+	Shrunk   bool
+	Expanded bool
 }
 
 // Report summarizes a supervised run.
@@ -201,7 +224,8 @@ func Run(job Job) (*Report, error) {
 			rec.Rework = nf.At
 		}
 		plan = plan.Shift(elapsed)
-		if job.Recovery == Shrink {
+		switch job.Recovery {
+		case Shrink:
 			if cfg.Machine.Nodes <= 1 {
 				return rep, fmt.Errorf("ft: cannot shrink below one node: %w", runErr)
 			}
@@ -212,6 +236,14 @@ func Run(job Job) (*Report, error) {
 			cfg.Machine.Nodes--
 			cfg.Placement = placement
 			rec.Shrunk = true
+		case Expand:
+			placement, perr := expandPlacement(w, cfg.Machine, 1)
+			if perr != nil {
+				return rep, fmt.Errorf("ft: expand recovery: %w", perr)
+			}
+			cfg.Machine.Nodes++
+			cfg.Placement = placement
+			rec.Expanded = true
 		}
 		if lastCk != nil {
 			// Tell the restore which node's in-memory snapshot copies
@@ -250,5 +282,31 @@ func shrinkPlacement(w *ampi.World, m machine.Config, failed int) ([]int, error)
 	if err := lb.Validate(loads, newPEs, assign); err != nil {
 		return nil, err
 	}
+	return assign, nil
+}
+
+// expandPlacement computes where every rank goes when grow nodes join:
+// ranks keep their PEs (a spare replaces any dead node under identical
+// ids) and GreedyRefineLB donates work onto the arrivals' PEs only.
+func expandPlacement(w *ampi.World, m machine.Config, grow int) ([]int, error) {
+	perNode := m.ProcsPerNode * m.PEsPerProc
+	oldPEs := m.Nodes * perNode
+	newPEs := (m.Nodes + grow) * perNode
+	arrivals := make([]int, 0, newPEs-oldPEs)
+	for pe := oldPEs; pe < newPEs; pe++ {
+		arrivals = append(arrivals, pe)
+	}
+	loads := w.RankLoads()
+	assign := lb.GreedyRefineLB{Expand: arrivals}.Rebalance(loads, newPEs)
+	if err := lb.Validate(loads, newPEs, assign); err != nil {
+		return nil, err
+	}
+	moves := 0
+	for i, pe := range assign {
+		if pe != loads[i].PE {
+			moves++
+		}
+	}
+	metrics.rebalanceMoves.Add(uint64(moves))
 	return assign, nil
 }

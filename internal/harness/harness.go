@@ -107,6 +107,9 @@ type TraceSel struct {
 	Target ampi.CheckpointTarget
 	// VPs selects the rank count (scale).
 	VPs int
+	// Churn selects the elastic churn regime by name (elastic matches
+	// Method, Target, and Churn).
+	Churn string
 	// Rec receives the selected world's events.
 	Rec *trace.Recorder
 	// Sink, consulted when Rec is nil, receives the selected world's

@@ -31,6 +31,9 @@ type RunOpts struct {
 	// ScaleVPs is the scale experiment's rank count (<= 0 selects
 	// DefaultScaleVPs — one million).
 	ScaleVPs int
+	// Elastic overrides the elastic experiment's churn-regime list
+	// (nil selects ElasticRegimes).
+	Elastic []ElasticRegime
 }
 
 func (r RunOpts) nodes() int {
@@ -190,6 +193,17 @@ var registry = []Experiment{
 		TraceKeys:   []string{"vps"},
 		Run: func(r RunOpts) (Result, error) {
 			rows, tbl, err := ScaleExperiment(r.Opts, r.ScaleVPs)
+			return Result{Rows: rows, Tables: []*trace.Table{tbl}}, err
+		},
+	},
+	{
+		Name:        "elastic",
+		Description: "Elastic worlds: time-to-solution and node-hours under cluster churn",
+		Flags:       []string{"churn-rate", "churn-notice", "churn-seed"},
+		Traceable:   true,
+		TraceKeys:   []string{"method", "target", "churn"},
+		Run: func(r RunOpts) (Result, error) {
+			rows, tbl, err := ElasticSweep(r.Opts, r.Elastic)
 			return Result{Rows: rows, Tables: []*trace.Table{tbl}}, err
 		},
 	},

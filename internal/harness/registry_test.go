@@ -69,7 +69,7 @@ func TestRegistryGoldenSmoke(t *testing.T) {
 func TestRegistryLookup(t *testing.T) {
 	wantOrder := []string{
 		"tables", "fig5", "fig5scale", "fig6", "fig7", "fig8",
-		"icache", "memory", "ftsweep", "table2", "scale",
+		"icache", "memory", "ftsweep", "table2", "scale", "elastic",
 	}
 	exps := harness.Experiments()
 	if len(exps) != len(wantOrder) {

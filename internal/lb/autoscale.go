@@ -1,0 +1,126 @@
+package lb
+
+import (
+	"fmt"
+
+	"provirt/internal/trace"
+)
+
+// Autoscaler is a deterministic target-utilization resize controller:
+// it looks at the measured PE utilization of the last execution window
+// (from trace.BuildProfile) and decides how many nodes to add or
+// remove. It is a policy, not a mechanism — the elastic supervisor
+// (internal/ft) executes the decision as membership events.
+//
+// The control law is the classic band controller cloud autoscalers
+// use: while utilization sits inside [LowWater, HighWater] nothing
+// happens; outside the band the cluster steps toward the size that
+// would bring utilization back to TargetUtil, clamped to
+// [MinNodes, MaxNodes] and to StepNodes per decision so one noisy
+// window cannot whipsaw the machine.
+type Autoscaler struct {
+	// TargetUtil is the busy fraction the controller steers toward
+	// (default 0.75).
+	TargetUtil float64
+	// HighWater and LowWater bound the dead band: scale up above
+	// HighWater (default TargetUtil+0.10), down below LowWater
+	// (default TargetUtil-0.25).
+	HighWater float64
+	LowWater  float64
+	// MinNodes and MaxNodes clamp the cluster size (defaults 1 and
+	// no upper bound).
+	MinNodes int
+	MaxNodes int
+	// StepNodes caps how many nodes one decision adds or removes
+	// (default 1).
+	StepNodes int
+}
+
+func (a Autoscaler) target() float64 {
+	if a.TargetUtil > 0 {
+		return a.TargetUtil
+	}
+	return 0.75
+}
+
+func (a Autoscaler) high() float64 {
+	if a.HighWater > 0 {
+		return a.HighWater
+	}
+	return a.target() + 0.10
+}
+
+func (a Autoscaler) low() float64 {
+	if a.LowWater > 0 {
+		return a.LowWater
+	}
+	l := a.target() - 0.25
+	if l < 0 {
+		l = 0
+	}
+	return l
+}
+
+func (a Autoscaler) step() int {
+	if a.StepNodes > 0 {
+		return a.StepNodes
+	}
+	return 1
+}
+
+// Validate rejects inconsistent controller configurations.
+func (a Autoscaler) Validate() error {
+	if a.low() >= a.high() {
+		return fmt.Errorf("lb: autoscaler low water %.2f must be below high water %.2f", a.low(), a.high())
+	}
+	if a.MinNodes < 0 || (a.MaxNodes > 0 && a.MaxNodes < a.MinNodes) {
+		return fmt.Errorf("lb: autoscaler node bounds [%d, %d] invalid", a.MinNodes, a.MaxNodes)
+	}
+	return nil
+}
+
+// Decide returns the node-count delta (positive = expand, negative =
+// shrink, 0 = hold) given the utilization of the last window on a
+// nodes-node cluster. Pure and deterministic.
+func (a Autoscaler) Decide(util float64, nodes int) int {
+	if nodes <= 0 {
+		return 0
+	}
+	if util >= a.low() && util <= a.high() {
+		return 0
+	}
+	// Ideal size keeps total busy work constant: util*nodes busy
+	// node-equivalents spread at TargetUtil each.
+	ideal := int(float64(nodes)*util/a.target() + 0.5)
+	min := a.MinNodes
+	if min < 1 {
+		min = 1
+	}
+	if ideal < min {
+		ideal = min
+	}
+	if a.MaxNodes > 0 && ideal > a.MaxNodes {
+		ideal = a.MaxNodes
+	}
+	delta := ideal - nodes
+	if step := a.step(); delta > step {
+		delta = step
+	} else if delta < -step {
+		delta = -step
+	}
+	return delta
+}
+
+// Utilization condenses a run profile into the busy fraction the
+// autoscaler consumes: total PE busy time over span × PE count. A
+// profile with no span or no PEs reports 0.
+func Utilization(p *trace.Profile) float64 {
+	if p == nil || p.Span <= 0 || len(p.PEs) == 0 {
+		return 0
+	}
+	var busy float64
+	for _, pe := range p.PEs {
+		busy += float64(pe.Busy)
+	}
+	return busy / (float64(p.Span) * float64(len(p.PEs)))
+}

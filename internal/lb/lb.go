@@ -179,10 +179,20 @@ func (GreedyLB) Rebalance(loads []RankLoad, numPEs int) []int {
 // scheduler) are treated as displaced and placed first, heaviest onto
 // the least-loaded surviving PE, before the refinement pass runs. This
 // is the remap restart-with-shrink recovery drives.
+//
+// It is also expand-aware: when Expand names freshly arrived PEs, the
+// donation pass sends ranks only onto those arrivals, so an expansion
+// migrates exactly the work needed to fill the new capacity instead of
+// reshuffling the whole machine.
 type GreedyRefineLB struct {
 	// Tolerance is the allowed overload ratio over the mean before a
 	// PE must donate (default 1.05).
 	Tolerance float64
+	// Expand optionally names PE ids that just joined the machine
+	// (empty, inside [0, numPEs)). When non-empty, donations target
+	// only these PEs — the rebalance-onto-arrivals pass an expansion
+	// epoch runs. Displaced ranks may still land anywhere.
+	Expand []int
 }
 
 // Name implements Strategy.
@@ -232,6 +242,21 @@ func (g GreedyRefineLB) Rebalance(loads []RankLoad, numPEs int) []int {
 	}
 	threshold := sim.Time(float64(total) / float64(numPEs) * tol)
 
+	// Donation destinations: all PEs normally, or just the arrivals
+	// when an expand target set is given.
+	var dests []int
+	for _, pe := range g.Expand {
+		if pe >= 0 && pe < numPEs {
+			dests = append(dests, pe)
+		}
+	}
+	if len(dests) == 0 {
+		dests = make([]int, numPEs)
+		for pe := range dests {
+			dests[pe] = pe
+		}
+	}
+
 	// Donate smallest ranks from overloaded PEs to the least-loaded PE
 	// until every PE fits under the threshold or no move helps.
 	for pe := 0; pe < numPEs; pe++ {
@@ -246,9 +271,9 @@ func (g GreedyRefineLB) Rebalance(loads []RankLoad, numPEs int) []int {
 				if assign[i] != pe || !loads[i].Migratable || loads[i].Load == 0 {
 					continue
 				}
-				// Least-loaded destination.
-				dest := 0
-				for q := 1; q < numPEs; q++ {
+				// Least-loaded destination among the candidates.
+				dest := dests[0]
+				for _, q := range dests[1:] {
 					if peLoad[q] < peLoad[dest] {
 						dest = q
 					}

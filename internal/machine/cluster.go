@@ -48,6 +48,14 @@ func (c Config) SMPMode() bool { return c.PEsPerProc > 1 }
 
 // Cluster is the simulated machine: nodes containing OS processes
 // containing PEs, joined by a tiered network and a shared filesystem.
+//
+// Membership is runtime state, not a construction-time constant: the
+// cluster keeps an epoch-versioned membership log (see epoch.go), and
+// New records the initial shape as epoch 0. AddNodes and RetireNodes
+// append later epochs at virtual times. A cluster whose log never
+// grows past epoch 0 behaves exactly as the fixed-shape model always
+// did — the elastic checks are gated on a single bool that stays false
+// until the first membership change.
 type Cluster struct {
 	Engine *sim.Engine
 	Cost   *CostModel
@@ -60,6 +68,17 @@ type Cluster struct {
 	Tracer trace.Tracer
 
 	pes []*PE
+
+	// cfg is the construction shape; AddNodes builds new nodes with the
+	// same per-node process/PE layout.
+	cfg Config
+
+	// events is the membership epoch log; events[0] is the construction
+	// epoch. elastic flips true on the first post-construction event so
+	// the hot transfer path pays one bool check while membership is
+	// static.
+	events  []MembershipEvent
+	elastic bool
 
 	// degrades holds injected link-degradation windows (fault
 	// injection). Empty on the healthy path, which transfers check with
@@ -75,12 +94,14 @@ type degradeWindow struct {
 }
 
 // DegradeLinks injects a transient network fault: every transfer whose
-// departure falls in [from, until) is slowed by factor (>= 1).
+// departure falls in [from, until) is slowed by factor (> 1).
 // Overlapping windows compound multiplicatively. Windows are part of
 // the run's configuration, so runs remain pure functions of their
-// inputs.
+// inputs. Windows that cannot change any transfer — an empty interval,
+// or factor <= 1 (a factor of exactly 1 would be a silent no-op that
+// linkFactor still scans on every degraded transfer) — are dropped.
 func (cl *Cluster) DegradeLinks(from, until sim.Time, factor float64) {
-	if factor < 1 || until <= from {
+	if factor <= 1 || until <= from {
 		return
 	}
 	cl.degrades = append(cl.degrades, degradeWindow{From: from, Until: until, Factor: factor})
@@ -111,6 +132,17 @@ func (cl *Cluster) SetTracer(t trace.Tracer) {
 type Node struct {
 	ID    int
 	Procs []*Process
+
+	// JoinedAt is the virtual time the node entered the cluster (0 for
+	// construction-time nodes). RetiredAt is the virtual time it left,
+	// or -1 while it is live.
+	JoinedAt  sim.Time
+	RetiredAt sim.Time
+}
+
+// Live reports whether the node is a member at virtual time t.
+func (n *Node) Live(t sim.Time) bool {
+	return t >= n.JoinedAt && (n.RetiredAt < 0 || t < n.RetiredAt)
 }
 
 // Process is one OS process: an address space plus one or more PEs.
@@ -172,15 +204,34 @@ func New(cfg Config) (*Cluster, error) {
 		Engine: sim.NewEngine(),
 		Cost:   cost,
 		RNG:    sim.NewRNG(cfg.Seed),
+		cfg:    cfg,
 	}
 	cl.FS = NewSharedFS(cl.Engine, cost)
-	procID, peID := 0, 0
-	for n := 0; n < cfg.Nodes; n++ {
-		node := &Node{ID: n}
-		for p := 0; p < cfg.ProcsPerNode; p++ {
+	added := cl.buildNodes(0, cfg.Nodes)
+	// The construction shape is epoch 0 of the membership log; a
+	// cluster that never changes shape never leaves it.
+	cl.events = append(cl.events, MembershipEvent{
+		At: 0, Added: added, Nodes: cfg.Nodes, NodesBuilt: cfg.Nodes, PEs: len(cl.pes),
+	})
+	return cl, nil
+}
+
+// buildNodes appends count nodes of the configured per-node shape,
+// continuing the global node/process/PE id sequences, with the given
+// join time. It returns the new node ids.
+func (cl *Cluster) buildNodes(at sim.Time, count int) []int {
+	procID := 0
+	for _, n := range cl.Nodes {
+		procID += len(n.Procs)
+	}
+	peID := len(cl.pes)
+	var added []int
+	for i := 0; i < count; i++ {
+		node := &Node{ID: len(cl.Nodes), JoinedAt: at, RetiredAt: -1}
+		for p := 0; p < cl.cfg.ProcsPerNode; p++ {
 			proc := &Process{ID: procID, Node: node, AS: mem.NewAddressSpace()}
 			procID++
-			for q := 0; q < cfg.PEsPerProc; q++ {
+			for q := 0; q < cl.cfg.PEsPerProc; q++ {
 				pe := &PE{ID: peID, Proc: proc}
 				peID++
 				proc.PEs = append(proc.PEs, pe)
@@ -188,9 +239,10 @@ func New(cfg Config) (*Cluster, error) {
 			}
 			node.Procs = append(node.Procs, proc)
 		}
+		added = append(added, node.ID)
 		cl.Nodes = append(cl.Nodes, node)
 	}
-	return cl, nil
+	return added
 }
 
 // PEs returns every PE in global id order.
@@ -219,26 +271,39 @@ func (cl *Cluster) Processes() []*Process {
 // sim.MaxDomains, contiguous units share a domain; merging whole units
 // only removes boundaries, so the bound still holds.
 func (cl *Cluster) DomainPlan() (domOf []int32, ndom int, lookahead time.Duration) {
-	procs := cl.Processes()
+	return cl.DomainPlanAt(cl.Epoch())
+}
+
+// DomainPlanAt is DomainPlan evaluated at a membership epoch: it
+// covers exactly the PEs that existed by that epoch (later arrivals
+// are absent from the assignment). Retired nodes keep their domains —
+// their PEs simply stop producing events — so an assignment computed
+// at an early epoch stays valid as nodes leave, and epoch 0 of an
+// unchanged cluster reproduces the fixed-shape plan bit for bit.
+func (cl *Cluster) DomainPlanAt(epoch int) (domOf []int32, ndom int, lookahead time.Duration) {
+	ev := cl.events[epoch]
+	pes := cl.pes[:ev.PEs]
+	nodesBuilt := ev.NodesBuilt
+	procsBuilt := nodesBuilt * cl.cfg.ProcsPerNode
 	// unitOf maps each PE to its partition unit at the chosen tier.
-	unitOf := make([]int, len(cl.pes))
+	unitOf := make([]int, len(pes))
 	var units int
 	switch {
-	case len(cl.Nodes) > 1:
-		units = len(cl.Nodes)
-		for i, pe := range cl.pes {
+	case nodesBuilt > 1:
+		units = nodesBuilt
+		for i, pe := range pes {
 			unitOf[i] = pe.Proc.Node.ID
 		}
 		lookahead = cl.Cost.MinLatencyAcross(false, false)
-	case len(procs) > 1:
-		units = len(procs)
-		for i, pe := range cl.pes {
+	case procsBuilt > 1:
+		units = procsBuilt
+		for i, pe := range pes {
 			unitOf[i] = pe.Proc.ID
 		}
 		lookahead = cl.Cost.MinLatencyAcross(true, false)
 	default:
-		units = len(cl.pes)
-		for i := range cl.pes {
+		units = len(pes)
+		for i := range pes {
 			unitOf[i] = i
 		}
 		lookahead = cl.Cost.MinLatencyAcross(true, true)
@@ -247,7 +312,7 @@ func (cl *Cluster) DomainPlan() (domOf []int32, ndom int, lookahead time.Duratio
 	if ndom > sim.MaxDomains {
 		ndom = sim.MaxDomains
 	}
-	domOf = make([]int32, len(cl.pes))
+	domOf = make([]int32, len(pes))
 	for i, u := range unitOf {
 		domOf[i] = int32(u * ndom / units)
 	}
@@ -281,14 +346,32 @@ func (cl *Cluster) Tier(a, b *PE) int32 {
 }
 
 // TransferTimeAt is TransferTime anchored at a departure instant: it
-// additionally applies any link-degradation window covering start. With
-// no injected faults it is exactly TransferTime.
+// additionally applies any link-degradation window covering start, and
+// on an elastic cluster (one whose membership log has grown past the
+// construction epoch) asserts both endpoints are members at departure.
+// With no injected faults and no membership changes it is exactly
+// TransferTime.
 func (cl *Cluster) TransferTimeAt(start sim.Time, a, b *PE, n uint64) time.Duration {
+	if cl.elastic {
+		cl.assertLive(start, a)
+		cl.assertLive(start, b)
+	}
 	d := cl.TransferTime(a, b, n)
 	if len(cl.degrades) != 0 {
 		d = time.Duration(float64(d) * cl.linkFactor(start))
 	}
 	return d
+}
+
+// assertLive panics when a transfer endpoint's node is not a cluster
+// member at the departure instant — routing traffic through departed
+// or not-yet-joined hardware is a modeling bug, not a recoverable
+// condition. Only elastic clusters pay this check.
+func (cl *Cluster) assertLive(at sim.Time, pe *PE) {
+	if n := pe.Proc.Node; !n.Live(at) {
+		panic(fmt.Sprintf("machine: transfer at %v touches PE %d on node %d, which is not a member (joined %v, retired %v)",
+			at, pe.ID, n.ID, n.JoinedAt, n.RetiredAt))
+	}
 }
 
 // Transfer charges a transfer of n bytes departing PE a for PE b at

@@ -35,6 +35,7 @@ import (
 
 	"provirt/internal/ampi"
 	"provirt/internal/core"
+	"provirt/internal/ft"
 	"provirt/internal/lb"
 	"provirt/internal/machine"
 	"provirt/internal/sim"
@@ -149,6 +150,7 @@ type specDoc struct {
 	Balancer   string         `json:"balancer,omitempty"`
 	BalancerPE int            `json:"balancer_pes_per_node,omitempty"`
 	Checkpoint *checkpointDoc `json:"checkpoint,omitempty"`
+	Churn      *churnDoc      `json:"churn,omitempty"`
 	Placement  []int          `json:"placement,omitempty"`
 	StackSize  uint64         `json:"stack_size,omitempty"`
 	SimWorkers int            `json:"sim_workers,omitempty"`
@@ -191,6 +193,17 @@ type checkpointDoc struct {
 	Target     string `json:"target"`
 	Dir        string `json:"dir,omitempty"`
 	IntervalNs int64  `json:"interval_ns,omitempty"`
+}
+
+type churnDoc struct {
+	Seed            uint64 `json:"seed,omitempty"`
+	ArrivalEveryNs  int64  `json:"arrival_every_ns,omitempty"`
+	EvictionEveryNs int64  `json:"eviction_every_ns,omitempty"`
+	NoticeNs        int64  `json:"notice_ns,omitempty"`
+	HorizonNs       int64  `json:"horizon_ns,omitempty"`
+	RollingEveryNs  int64  `json:"rolling_every_ns,omitempty"`
+	RollingNodes    int    `json:"rolling_nodes,omitempty"`
+	MaxEvents       int    `json:"max_events,omitempty"`
 }
 
 // doc lowers the Spec to its wire document, rejecting non-declarative
@@ -257,6 +270,18 @@ func (s *Spec) doc() (*specDoc, error) {
 			Target:     s.Checkpoint.Target.String(),
 			Dir:        s.Checkpoint.Dir,
 			IntervalNs: int64(s.Checkpoint.Interval),
+		}
+	}
+	if s.Churn != nil {
+		d.Churn = &churnDoc{
+			Seed:            s.Churn.Seed,
+			ArrivalEveryNs:  int64(s.Churn.ArrivalEvery),
+			EvictionEveryNs: int64(s.Churn.EvictionEvery),
+			NoticeNs:        int64(s.Churn.Notice),
+			HorizonNs:       int64(s.Churn.Horizon),
+			RollingEveryNs:  int64(s.Churn.RollingEvery),
+			RollingNodes:    s.Churn.RollingNodes,
+			MaxEvents:       s.Churn.MaxEvents,
 		}
 	}
 	return d, nil
@@ -360,6 +385,18 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 			Interval: sim.Time(d.Checkpoint.IntervalNs),
 		}
 	}
+	if d.Churn != nil {
+		out.Churn = &ft.ChurnSpec{
+			Seed:          d.Churn.Seed,
+			ArrivalEvery:  sim.Time(d.Churn.ArrivalEveryNs),
+			EvictionEvery: sim.Time(d.Churn.EvictionEveryNs),
+			Notice:        sim.Time(d.Churn.NoticeNs),
+			Horizon:       sim.Time(d.Churn.HorizonNs),
+			RollingEvery:  sim.Time(d.Churn.RollingEveryNs),
+			RollingNodes:  d.Churn.RollingNodes,
+			MaxEvents:     d.Churn.MaxEvents,
+		}
+	}
 	*s = out
 	return nil
 }
@@ -420,6 +457,19 @@ func (s *Spec) Canonical() ([]byte, error) {
 		line("checkpoint.target", "")
 		line("checkpoint.dir", "")
 		line("checkpoint.interval_ns", "%d", 0)
+	}
+	// Churn lines appear only when churn is configured: churn-free
+	// Specs keep the exact canonical bytes (and hashes) they had before
+	// elasticity existed.
+	if s.Churn != nil {
+		line("churn.seed", "%d", s.Churn.Seed)
+		line("churn.arrival_every_ns", "%d", int64(s.Churn.ArrivalEvery))
+		line("churn.eviction_every_ns", "%d", int64(s.Churn.EvictionEvery))
+		line("churn.notice_ns", "%d", int64(s.Churn.Notice))
+		line("churn.horizon_ns", "%d", int64(s.Churn.Horizon))
+		line("churn.rolling_every_ns", "%d", int64(s.Churn.RollingEvery))
+		line("churn.rolling_nodes", "%d", s.Churn.RollingNodes)
+		line("churn.max_events", "%d", s.Churn.MaxEvents)
 	}
 	placement := make([]string, len(s.Placement))
 	for i, p := range s.Placement {

@@ -24,6 +24,7 @@ import (
 
 	"provirt/internal/ampi"
 	"provirt/internal/core"
+	"provirt/internal/ft"
 	"provirt/internal/lb"
 	"provirt/internal/machine"
 	"provirt/internal/trace"
@@ -97,6 +98,13 @@ type Spec struct {
 	Trigger  lb.Trigger
 	// Checkpoint, if set, is the policy Rank.CheckpointIfDue consults.
 	Checkpoint *ampi.CheckpointPolicy
+	// Churn, if set and enabled, runs the scenario under elastic
+	// cluster membership: the spec is compiled to a deterministic
+	// arrival/eviction schedule and executed by the ft elastic
+	// supervisor (RunElastic). Requires a Checkpoint policy (membership
+	// changes drain through snapshots) and a migratable method (ranks
+	// must move when the machine reshapes).
+	Churn *ft.ChurnSpec
 	// Restart, if set, restores every rank from the snapshot before
 	// its thread first runs (stop/restart and recovery scenarios).
 	Restart *ampi.Checkpoint
@@ -240,6 +248,19 @@ func (s *Spec) Validate() error {
 	if s.Placement != nil && len(s.Placement) != s.VPs {
 		add("Placement", "has %d entries, want one per VP (%d)", len(s.Placement), s.VPs)
 	}
+	if s.Churn != nil {
+		if err := s.Churn.Validate(); err != nil {
+			add("Churn", "%v", err)
+		}
+		if s.Churn.Enabled() {
+			if s.Checkpoint == nil || s.Checkpoint.Interval <= 0 {
+				add("Churn", "elastic membership changes need a checkpoint policy to drain through")
+			}
+			if caps.DisplayName != "" && !caps.SupportsMigration {
+				add("Churn", "method %s does not support migration; ranks cannot move when the machine reshapes", kind)
+			}
+		}
+	}
 	if s.SimWorkers < 0 {
 		add("SimWorkers", "must be non-negative, got %d", s.SimWorkers)
 	}
@@ -356,4 +377,51 @@ func (s *Spec) Run() (*ampi.World, error) {
 		return nil, err
 	}
 	return b.World, nil
+}
+
+// RunElastic runs the scenario under its Churn schedule via the
+// elastic supervisor: the spec compiles to a deterministic membership
+// plan and the job drains, reshapes, and restarts across every
+// arrival and eviction. Requires a named Workload (each restart
+// attempt needs a fresh program instance) and, when churn is enabled,
+// a Checkpoint policy. The returned report function prints the final
+// attempt's workload output, mirroring Built.Report.
+func (s *Spec) RunElastic() (*ft.ElasticReport, func(), error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Program != nil {
+		return nil, nil, &ValidationError{Errs: []FieldError{{
+			Field: "Program",
+			Msg:   "elastic runs restart the program across membership changes; name a registered Workload instead",
+		}}}
+	}
+	if s.Workload == "" {
+		return nil, nil, &ValidationError{Errs: []FieldError{{
+			Field: "Workload",
+			Msg: fmt.Sprintf("no workload: name one of %s",
+				strings.Join(WorkloadNames(), ", ")),
+		}}}
+	}
+	wl, _ := LookupWorkload(s.Workload) // existence pinned by Config's Validate
+	params := s.WorkloadParams
+	params.HasLB = s.Balancer != nil
+	var report func()
+	job := ft.ElasticJob{
+		Config: cfg,
+		Program: func() *ampi.Program {
+			p, r := wl.New(params)
+			report = r
+			return p
+		},
+	}
+	if s.Churn != nil {
+		job.Churn = s.Churn.Compile(s.Machine.Nodes)
+	}
+	rep, err := ft.RunElastic(job)
+	if err != nil {
+		return rep, nil, err
+	}
+	return rep, report, nil
 }

@@ -78,6 +78,16 @@ const (
 	// Bytes the restored payload size. Aux is the Checkpoint target
 	// code (0 = shared FS, 1 = buddy memory).
 	KindRecover
+	// KindEpoch marks a cluster-membership epoch transition (instant):
+	// nodes arrived or were retired. Aux is the Epoch* constant, Peer
+	// the new live node count, Bytes the number of nodes the event
+	// added or retired.
+	KindEpoch
+	// KindDrain spans a drain checkpoint: the forced snapshot taken
+	// between an eviction notice arriving and the node leaving, so
+	// planned departures lose no work. Aux is the Checkpoint target
+	// code (0 = shared FS, 1 = buddy memory), Bytes the payload size.
+	KindDrain
 
 	numKinds
 )
@@ -101,6 +111,8 @@ var kindNames = [numKinds]string{
 	KindFault:       "fault",
 	KindDetect:      "detect",
 	KindRecover:     "recover",
+	KindEpoch:       "epoch",
+	KindDrain:       "drain",
 }
 
 func (k Kind) String() string {
@@ -185,6 +197,28 @@ func FaultName(f int32) string {
 		return faultNames[f]
 	}
 	return "fault?"
+}
+
+// Aux values for KindEpoch events.
+const (
+	// EpochAdd: nodes joined the cluster.
+	EpochAdd int32 = iota
+	// EpochRetire: nodes were retired (possibly with an eviction
+	// notice; the event time is when the notice arrived).
+	EpochRetire
+)
+
+var epochNames = [...]string{
+	EpochAdd:    "add",
+	EpochRetire: "retire",
+}
+
+// EpochName names a KindEpoch Aux code.
+func EpochName(e int32) string {
+	if e >= 0 && int(e) < len(epochNames) {
+		return epochNames[e]
+	}
+	return "epoch?"
 }
 
 // Network tier codes carried in Event.Aux for KindLink events.

@@ -209,6 +209,11 @@ func runRank(cfg Config, r *ampi.Rank, results func(Result)) {
 		if cfg.MigrateEvery > 0 && (it+1)%cfg.MigrateEvery == 0 {
 			r.Migrate()
 		}
+		// Iteration boundaries are the solver's consistency points:
+		// snapshot here when a checkpoint policy is armed (free when
+		// none is — the call returns immediately without a collective),
+		// which also makes the workload drainable for elastic runs.
+		r.CheckpointIfDue()
 	}
 	global := r.Allreduce([]float64{resid * resid}, ampi.OpSum)
 
